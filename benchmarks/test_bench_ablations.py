@@ -1,0 +1,23 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md commitments)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_substeps(run_once):
+    result = run_once(ablations.substeps_convergence, n_fft=4096)
+    snr = {row[0]: row[1] for row in result.rows}
+    assert abs(snr[4] - snr[8]) < 2.0
+
+
+def test_bench_ablation_logic_threshold(run_once):
+    result = run_once(ablations.logic_threshold_ablation, n_baseband=256)
+    by_threshold = {row[0]: row for row in result.rows}
+    assert by_threshold[0.0][2] > by_threshold[0.4][2] + 10.0
+    correct = [row[1] for row in result.rows]
+    assert max(correct) - min(correct) < 1.0
+
+
+def test_bench_ablation_osr(run_once):
+    result = run_once(ablations.osr_scaling, n_fft=8192)
+    snrs = [row[2] for row in result.rows]
+    assert all(b > a for a, b in zip(snrs, snrs[1:]))

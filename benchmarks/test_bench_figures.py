@@ -1,0 +1,68 @@
+"""Benchmarks regenerating the paper's six result figures.
+
+Each benchmark runs the corresponding experiment driver at reduced (but
+representative) parameters and asserts the paper's qualitative shape,
+so the harness doubles as a regression gate on the reproduction.
+"""
+
+from repro.experiments import (
+    fig07_invalid_keys,
+    fig08_transient,
+    fig09_receiver_snr,
+    fig10_psd,
+    fig11_dynamic_range,
+    fig12_sfdr,
+)
+
+
+def _row(result, label):
+    for row in result.rows:
+        if row[0] == label:
+            return row
+    raise AssertionError(f"missing row {label!r}")
+
+
+def test_bench_fig07_invalid_keys(run_once):
+    result = run_once(fig07_invalid_keys.run, n_keys=40, n_fft=4096)
+    correct = _row(result, "correct")[1]
+    invalid = [r[1] for r in result.rows if r[2] != "correct"]
+    assert correct > 40.0, "paper: correct key above 40 dB"
+    assert max(invalid) < 35.0, "paper: every invalid key below ~30 dB"
+    assert sum(1 for s in invalid if s < 0) > len(invalid) / 2
+
+
+def test_bench_fig08_transient(run_once):
+    result = run_once(fig08_transient.run, n_samples=512)
+    assert _row(result, "correct")[1] == "bitstream"
+    assert _row(result, "deceptive")[1] == "analog"
+
+
+def test_bench_fig09_receiver_snr(run_once):
+    result = run_once(fig09_receiver_snr.run, n_keys=25, n_baseband=512)
+    correct = _row(result, "correct")[1]
+    invalid = [r[1] for r in result.rows if r[0] != "correct"]
+    assert correct > 38.0
+    assert max(invalid) < 15.0, "paper: all invalid keys below 10 dB"
+
+
+def test_bench_fig10_psd(run_once):
+    result = run_once(fig10_psd.run, n_fft=8192)
+    contrast = {row[0]: row[1] for row in result.rows}
+    assert contrast["correct"] - contrast["deceptive"] > 10.0
+
+
+def test_bench_fig11_dynamic_range(run_once):
+    result = run_once(fig11_dynamic_range.run, power_step_dbm=5.0, n_fft=2048)
+    correct = [r for r in result.rows if r[0] == "correct"]
+    deceptive = [r for r in result.rows if r[0] == "deceptive"]
+    assert max(r[4] for r in correct) > max(r[4] for r in deceptive)
+    # Each segment's SNR rises from its low-power end to its sweet spot.
+    for seg in (0, 1, 2):
+        seg_rows = [r for r in correct if r[1] == seg]
+        assert max(r[4] for r in seg_rows) > seg_rows[0][4]
+
+
+def test_bench_fig12_sfdr(run_once):
+    result = run_once(fig12_sfdr.run, n_fft=8192)
+    sfdr = {row[0]: row[1] for row in result.rows}
+    assert sfdr["correct"] > sfdr["deceptive"] + 15.0

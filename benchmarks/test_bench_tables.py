@@ -1,0 +1,55 @@
+"""Benchmarks regenerating the paper's analysis tables."""
+
+from repro.experiments import (
+    security_optimization,
+    security_sat,
+    sweep_standards,
+    table_attack_cost,
+    table_baselines,
+    table_keyspace,
+)
+
+
+def test_bench_attack_cost_table(run_once):
+    result = run_once(table_attack_cost.run, n_keys=40, n_fft=2048)
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert "2^64" in values["key space"]
+    assert values["unlocking keys seen in random sample"].startswith("0")
+
+
+def test_bench_keyspace_table(run_once):
+    result = run_once(table_keyspace.run, distances=(1, 4, 16), trials_per_distance=4)
+    assert len(result.rows) >= 4
+
+
+def test_bench_baseline_table(run_once):
+    result = run_once(table_baselines.run, n_random_keys=12)
+    rows = {row[0]: row for row in result.rows}
+    proposed = rows["this work"]
+    assert proposed[3] == 0.0 and proposed[4] == 0.0
+    assert proposed[6].startswith("n/a")
+    # Bias-based prior schemes fall to the removal attack.
+    for ref in ("[6]", "[7]", "[8]", "[11]"):
+        assert rows[ref][6] == "succeeds"
+
+
+def test_bench_standards_sweep(run_once):
+    result = run_once(sweep_standards.run, standard_indices=(0, 7), n_keys=12, n_fft=2048)
+    for row in result.rows:
+        assert row[5] == 0, f"{row[0]}: no invalid key may survive adjudication"
+        assert row[2] > 38.0, f"{row[0]}: correct key must be functional"
+
+
+def test_bench_sat_attack(run_once):
+    result = run_once(security_sat.run, n_key_bits=7)
+    outcomes = [row[1] for row in result.rows]
+    assert sum(1 for o in outcomes if "key recovered" in o) == 2
+    assert any("not applicable" in o for o in outcomes)
+
+
+def test_bench_optimization_attacks(run_once):
+    result = run_once(security_optimization.run, budget=80, n_fft=2048)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["legitimate calibration (secret algorithm)"][3]
+    assert not rows["brute force"][3]
+    assert not rows["simulated annealing"][3]

@@ -1,0 +1,19 @@
+"""Regenerate every figure/table of the paper in one run.
+
+Thin wrapper over the experiment runner; pass ``--full`` for paper-size
+parameters (100-key populations, 8192-point FFTs).
+
+Run:  python examples/regenerate_paper_results.py [--full]
+"""
+
+import sys
+
+from repro.experiments.runner import run_all
+
+
+def main() -> None:
+    run_all(full="--full" in sys.argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Supply-chain threat scenarios (paper Sec. IV-C), simulated end to end.
+
+A design house orders 8 chips from an untrusted foundry but only
+activates the 5 it paid for.  The scenario walks through:
+
+* overproduction: extra dies exist but were never calibrated/activated,
+* cloning: a perfect netlist copy without keys is good-for-nothing,
+* remarking: a failing die is loaded with a wrong configuration so it
+  cannot be resold as a passing part, and
+* recycling: with PUF/XOR keys loaded per power-on, a pulled chip dies.
+
+Run:  python examples/supply_chain_scenarios.py
+"""
+
+import numpy as np
+
+from repro.calibration import Calibrator
+from repro.keymgmt import ArbiterPuf, PufXorScheme
+from repro.locking import PerformanceSpec
+from repro.process import ChipFactory
+from repro.receiver import Chip, ConfigWord, STANDARDS, measure_modulator_snr
+
+LOT_SIZE = 8
+PAID_FOR = 5
+
+
+def main() -> None:
+    fab = ChipFactory(lot_seed=2020)
+    standard = STANDARDS[0]
+    spec = PerformanceSpec.for_standard(standard)
+    calibrator = Calibrator(n_fft=4096, optimizer_passes=2, sfdr_weight=0.0)
+    rng = np.random.default_rng(9)
+
+    print(f"foundry fabricates {LOT_SIZE} dies; design house activates {PAID_FOR}\n")
+    activated = {}
+    for chip_id in range(LOT_SIZE):
+        chip = Chip(variations=fab.draw(chip_id))
+        if chip_id < PAID_FOR:
+            result = calibrator.calibrate(chip, standard)
+            passes = result.snr_db >= spec.snr_min_db
+            if passes:
+                activated[chip_id] = (chip, result.config)
+                print(f"die {chip_id}: calibrated, SNR {result.snr_db:5.1f} dB -> shipped")
+            else:
+                # Remarking countermeasure: load a wrong configuration so
+                # the failing die is totally malfunctional if remarked.
+                poison = result.config.flip_bits(list(rng.choice(64, 12, replace=False)))
+                snr = measure_modulator_snr(chip, poison, standard, n_fft=2048).snr_db
+                print(f"die {chip_id}: FAILS spec ({result.snr_db:5.1f} dB) -> "
+                      f"poisoned config loaded, now {snr:5.1f} dB (remarking-proof)")
+        else:
+            # Overproduced dies: the foundry has silicon but no keys.
+            guess = ConfigWord.random(rng)
+            snr = measure_modulator_snr(chip, guess, standard, n_fft=2048).snr_db
+            print(f"die {chip_id}: overproduced, foundry's best guess key -> "
+                  f"{snr:5.1f} dB (good-for-nothing)")
+
+    if not activated:
+        print("\n(no die passed specification in this lot — rerun with a "
+              "different lot seed)")
+        return
+    donor_id, (chip0, cfg0) = next(iter(activated.items()))
+
+    print(f"\ncloning: an attacker reverse-engineers the netlist perfectly, "
+          f"fabricates a clone of die {donor_id}...")
+    clone = Chip(variations=fab.draw(100))  # new silicon, new variations
+    snr = measure_modulator_snr(clone, cfg0, standard, n_fft=2048).snr_db
+    print(f"  die-{donor_id}'s stolen key on the clone: {snr:5.1f} dB "
+          f"(keys are chip-unique; spec needs {spec.snr_min_db:.0f} dB)")
+
+    print("\nrecycling: a legitimately activated chip is desoldered and resold...")
+    scheme = PufXorScheme(ArbiterPuf(chip_id=chip0.chip_id))
+    user_keys = scheme.enroll({standard.index: cfg0})
+    scheme.power_on(user_keys)
+    print(f"  original owner (user keys loaded): config recovered = "
+          f"{scheme.configuration_for_mode(standard.index) == cfg0}")
+    scheme.power_off()
+    try:
+        scheme.configuration_for_mode(standard.index)
+    except KeyError:
+        print("  after resale without the user-key set: chip is dead at power-on")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Securing Programmable Analog ICs Against Piracy".
+
+M. Elshamy et al., DATE 2020 (HAL hal-02384389).
+
+The package implements, in pure Python:
+
+* a behavioural multi-standard RF receiver (VGLNA + continuous-time
+  band-pass sigma-delta modulator + digital down-conversion/decimation),
+* its 64-bit programmability fabric and per-chip process variations,
+* the paper's 14-step off-chip calibration procedure,
+* the proposed locking-through-programmability scheme with tamper-proof
+  memory and PUF key management,
+* an attack suite (brute force, multi-objective optimisation, removal,
+  oracle-guided SAT) and six prior-work baseline locking schemes, and
+* experiment drivers regenerating every figure/analysis of the paper.
+
+Start with :mod:`repro.locking` and ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

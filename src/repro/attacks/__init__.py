@@ -1,0 +1,61 @@
+"""Attack suite: brute force, optimisation, transfer, removal, SAT."""
+
+from repro.attacks.brute_force import (
+    BruteForceAttack,
+    BruteForceOutcome,
+    expected_trials,
+    success_probability,
+)
+from repro.attacks.cost import (
+    AttackCostModel,
+    SECONDS_PER_YEAR,
+    SIM_DR_SWEEP_SECONDS,
+    SIM_SFDR_SECONDS,
+    SIM_SNR_SECONDS,
+    format_years,
+)
+from repro.attacks.optimization import (
+    GeneticAttack,
+    OptimizationOutcome,
+    SimulatedAnnealingAttack,
+)
+from repro.attacks.oracle import MeasurementOracle, QueryBudgetExceeded
+from repro.attacks.removal import (
+    RemovalOutcome,
+    removal_attack,
+    removal_comparison,
+)
+from repro.attacks.sat_attack import (
+    SatAttack,
+    SatAttackNotApplicable,
+    SatAttackResult,
+    assert_sat_attack_applicable,
+)
+from repro.attacks.transfer import TransferAttack, TransferOutcome
+
+__all__ = [
+    "AttackCostModel",
+    "BruteForceAttack",
+    "BruteForceOutcome",
+    "GeneticAttack",
+    "MeasurementOracle",
+    "OptimizationOutcome",
+    "QueryBudgetExceeded",
+    "RemovalOutcome",
+    "SECONDS_PER_YEAR",
+    "SIM_DR_SWEEP_SECONDS",
+    "SIM_SFDR_SECONDS",
+    "SIM_SNR_SECONDS",
+    "SatAttack",
+    "SatAttackNotApplicable",
+    "SatAttackResult",
+    "SimulatedAnnealingAttack",
+    "TransferAttack",
+    "TransferOutcome",
+    "assert_sat_attack_applicable",
+    "expected_trials",
+    "format_years",
+    "removal_attack",
+    "removal_comparison",
+    "success_probability",
+]

@@ -1,0 +1,82 @@
+"""Attack cost accounting (paper Sec. VI-B.1).
+
+The paper quantifies why simulation-based attacks are impractical:
+"for a single key and a 8192 point FFT, it takes about 20 minutes to
+simulate the SNR at the output of the RF receiver for a given input,
+3 hours to simulate the SNR across the input range, and 30 minutes to
+simulate the SFDR."  This module turns those per-trial costs plus the
+2^64 key space into the attack-time table the security analysis rests
+on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.receiver.config import KEY_BITS
+
+#: Seconds per simulated measurement, from the paper.
+SIM_SNR_SECONDS = 20.0 * 60.0
+SIM_DR_SWEEP_SECONDS = 3.0 * 3600.0
+SIM_SFDR_SECONDS = 30.0 * 60.0
+
+#: Seconds per hardware measurement on a re-fabbed chip (optimistic
+#: attacker: an automated bench takes ~1 s per SNR point).
+HW_SNR_SECONDS = 1.0
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class AttackCostModel:
+    """Per-trial costs for one attack setting."""
+
+    snr_seconds: float = SIM_SNR_SECONDS
+    dr_sweep_seconds: float = SIM_DR_SWEEP_SECONDS
+    sfdr_seconds: float = SIM_SFDR_SECONDS
+
+    @classmethod
+    def simulation(cls) -> "AttackCostModel":
+        """Transistor-level simulation costs (the paper's numbers)."""
+        return cls()
+
+    @classmethod
+    def hardware(cls) -> "AttackCostModel":
+        """Re-fabbed-chip bench costs (very optimistic for the attacker)."""
+        return cls(
+            snr_seconds=HW_SNR_SECONDS,
+            dr_sweep_seconds=HW_SNR_SECONDS * 18,
+            sfdr_seconds=HW_SNR_SECONDS * 2,
+        )
+
+    def brute_force_years(self, expected_trials: float | None = None) -> float:
+        """Expected brute-force search time in years.
+
+        With a single valid key the expectation is half the key space;
+        a caller may pass a smaller ``expected_trials`` when several
+        near-optimal keys exist.
+        """
+        if expected_trials is None:
+            expected_trials = 0.5 * 2.0**KEY_BITS
+        return expected_trials * self.snr_seconds / SECONDS_PER_YEAR
+
+    def campaign_seconds(self, n_snr: int = 0, n_dr: int = 0, n_sfdr: int = 0) -> float:
+        """Total time of a measurement campaign."""
+        return (
+            n_snr * self.snr_seconds
+            + n_dr * self.dr_sweep_seconds
+            + n_sfdr * self.sfdr_seconds
+        )
+
+
+def format_years(years: float) -> str:
+    """Human-readable attack duration."""
+    if years < 1e-3:
+        return f"{years * SECONDS_PER_YEAR:.0f} s"
+    if years < 1.0:
+        return f"{years * 365.25:.1f} days"
+    exponent = int(math.floor(math.log10(years)))
+    if exponent >= 4:
+        return f"{years / 10**exponent:.1f}e{exponent} years"
+    return f"{years:.1f} years"

@@ -1,0 +1,110 @@
+"""Measurement oracle: the attacker's only view of a working chip.
+
+The threat model (paper Sec. IV-B) grants the attacker the netlist and
+"access to working oracle chips".  Every attack in this package goes
+through this oracle, which meters the number of measurements and the
+accumulated (simulated) lab or CPU time, so attack cost claims are
+backed by actual query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.cost import AttackCostModel
+from repro.locking.specs import PerformanceSpec
+from repro.receiver.config import ConfigWord
+from repro.receiver.performance import (
+    measure_modulator_snr,
+    measure_receiver_snr,
+    measure_sfdr,
+)
+from repro.receiver.receiver import Chip
+from repro.receiver.standards import Standard
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """The attack spent its measurement budget without succeeding."""
+
+
+@dataclass
+class MeasurementOracle:
+    """A working chip on the attacker's bench.
+
+    Args:
+        chip: The oracle chip (typically re-fabbed to expose the
+            programming bits, per the paper's hardware-attack scenario).
+        standard: The operation mode under attack.
+        cost_model: Per-measurement time accounting.
+        n_fft: Measurement record length (attackers may trade accuracy
+            for speed).
+        max_queries: Hard query budget; None for unlimited.
+        seed: Measurement-noise seed.
+    """
+
+    chip: Chip
+    standard: Standard
+    cost_model: AttackCostModel = field(default_factory=AttackCostModel.hardware)
+    n_fft: int = 4096
+    max_queries: int | None = None
+    seed: int = 0
+    n_queries: int = field(default=0, init=False)
+    elapsed_seconds: float = field(default=0.0, init=False)
+
+    def _charge(self, seconds: float) -> None:
+        self.n_queries += 1
+        self.elapsed_seconds += seconds
+        if self.max_queries is not None and self.n_queries > self.max_queries:
+            raise QueryBudgetExceeded(
+                f"budget of {self.max_queries} measurements exhausted"
+            )
+
+    def snr(self, key: ConfigWord) -> float:
+        """Measured modulator-output SNR under ``key``, dB."""
+        self._charge(self.cost_model.snr_seconds)
+        return measure_modulator_snr(
+            self.chip, key, self.standard, n_fft=self.n_fft, seed=self.seed
+        ).snr_db
+
+    def sfdr(self, key: ConfigWord) -> float:
+        """Measured SFDR under ``key``, dB."""
+        self._charge(self.cost_model.sfdr_seconds)
+        return measure_sfdr(
+            self.chip, key, self.standard, n_fft=self.n_fft, seed=self.seed
+        ).sfdr_db
+
+    def receiver_snr(self, key: ConfigWord, n_baseband: int = 512) -> float:
+        """Measured SNR at the receiver output (the functional figure).
+
+        This is the paper's 20-minute measurement: SNR at the output of
+        the RF receiver for a given input.
+        """
+        self._charge(self.cost_model.snr_seconds)
+        return measure_receiver_snr(
+            self.chip, key, self.standard, n_baseband=n_baseband, seed=self.seed
+        ).snr_db
+
+    def spec(self) -> PerformanceSpec:
+        """The public performance specification (datasheet knowledge)."""
+        return PerformanceSpec.for_standard(self.standard)
+
+    def unlocks(self, key: ConfigWord) -> bool:
+        """Full adjudication of ``key`` against the specification.
+
+        "Locking succeeds when at least one performance violates its
+        specification" (Sec. VI-A) — so an unlock claim must survive
+        both the full-resolution modulator measurement *and* the
+        receiver-output measurement.  The two-stage check is what
+        unmasks 'deceptive' keys: an analog-passthrough key can fake a
+        high modulator-output SNR (especially on short records) but
+        collapses after the digital section, exactly as in Figs. 7-9.
+        """
+        self._charge(self.cost_model.snr_seconds)
+        snr_mod = measure_modulator_snr(
+            self.chip, key, self.standard, n_fft=8192, seed=self.seed
+        ).snr_db
+        spec = self.spec()
+        if snr_mod < spec.snr_min_db:
+            return False
+        snr_rx = self.receiver_snr(key)
+        return spec.meets(snr_db=snr_mod, snr_rx_db=snr_rx)

@@ -1,0 +1,80 @@
+"""Removal-attack analysis (paper Secs. II and IV-B.2).
+
+"Removal attacks ... are not applicable [to the proposed scheme] as
+there is no added circuitry on-chip to facilitate the key insertion."
+
+For the baseline schemes, the attack model follows the paper's
+narrative: the attacker owns a working chip, measures the few bias
+values the locked block produces, cuts the block out of the netlist and
+drops in a 'fresh' replacement producing those biases.  The attack
+succeeds when (a) there is something to remove, (b) the values to
+re-generate are observable and fixed per design.  Digital-section locks
+([9], [10]) require re-synthesising a whole digital block — harder, as
+the paper concedes, but still possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import AnalogLockScheme
+
+#: Narrative effort labels indexed by replacement_difficulty.
+EFFORT_LABELS = (
+    "trivial: measure bias, replace with plain generator",
+    "moderate: re-derive several interacting biases",
+    "hard: re-synthesise the locked digital block",
+    "not applicable: nothing to remove",
+)
+
+
+@dataclass(frozen=True)
+class RemovalOutcome:
+    """Adjudicated removal attack against one scheme.
+
+    Attributes:
+        scheme_name: Scheme attacked.
+        reference: Its literature tag.
+        applicable: Whether a removal attack can even be formulated.
+        succeeds: Whether the modelled attacker wins.
+        measurements_needed: Bias values to recover from the oracle chip.
+        effort: Narrative effort description.
+    """
+
+    scheme_name: str
+    reference: str
+    applicable: bool
+    succeeds: bool
+    measurements_needed: int
+    effort: str
+
+
+def removal_attack(scheme: AnalogLockScheme) -> RemovalOutcome:
+    """Run the removal-attack adjudication against ``scheme``."""
+    surface = scheme.removal_surface()
+    profile = scheme.profile
+    if not surface.has_added_circuitry:
+        return RemovalOutcome(
+            scheme_name=profile.name,
+            reference=profile.reference,
+            applicable=False,
+            succeeds=False,
+            measurements_needed=0,
+            effort=EFFORT_LABELS[3],
+        )
+    # Bias-style locks: success iff the values to regenerate are fixed
+    # per design and observable (the [6]-[8], [11] weakness).
+    succeeds = surface.biases_fixed_per_design or surface.replacement_difficulty <= 2
+    return RemovalOutcome(
+        scheme_name=profile.name,
+        reference=profile.reference,
+        applicable=True,
+        succeeds=succeeds,
+        measurements_needed=max(surface.n_bias_nodes, 1),
+        effort=EFFORT_LABELS[min(surface.replacement_difficulty, 2)],
+    )
+
+
+def removal_comparison(schemes: list[AnalogLockScheme]) -> list[RemovalOutcome]:
+    """Adjudicate every scheme; the paper's Sec. II comparison, computed."""
+    return [removal_attack(s) for s in schemes]

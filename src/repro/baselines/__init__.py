@@ -1,0 +1,25 @@
+"""Prior-work analog locking baselines (paper Fig. 1) + the proposed scheme."""
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.baselines.bias_obfuscation import BiasObfuscationLock
+from repro.baselines.calibration_lock import CalibrationLoopLock
+from repro.baselines.current_mirror import CurrentMirrorLock
+from repro.baselines.memristor import MemristorBiasLock
+from repro.baselines.mixlock import MixLock
+from repro.baselines.mlp import TinyMlp
+from repro.baselines.neural_bias import NeuralBiasLock
+from repro.baselines.proposed import ProposedFabricLock
+
+__all__ = [
+    "AnalogLockScheme",
+    "BiasObfuscationLock",
+    "CalibrationLoopLock",
+    "CurrentMirrorLock",
+    "MemristorBiasLock",
+    "MixLock",
+    "NeuralBiasLock",
+    "ProposedFabricLock",
+    "RemovalSurface",
+    "SchemeProfile",
+    "TinyMlp",
+]

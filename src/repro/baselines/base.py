@@ -1,0 +1,96 @@
+"""Common interface of the prior-work analog locking baselines (Fig. 1).
+
+Every baseline implements the same protocol so the comparison table of
+the paper's Sections II/IV-A can be *computed*: does the right key
+unlock the scheme's own testbench, what circuitry was added, what does
+it cost, and what is the removal-attack surface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeProfile:
+    """Descriptor of one locking technique.
+
+    Attributes:
+        name: Scheme name.
+        reference: Paper reference tag ([6]..[11], or 'this work').
+        locks_what: Which part of the design carries the lock.
+        added_circuitry: Whether lock hardware was inserted on-chip.
+        key_bits: Key width.
+        area_overhead_pct: Added area relative to the protected block.
+        power_overhead_pct: Added power.
+        performance_penalty_db: Performance cost of the insertion.
+        requires_redesign: Whether the analog design must be re-entered
+            or re-sized around the lock.
+    """
+
+    name: str
+    reference: str
+    locks_what: str
+    added_circuitry: bool
+    key_bits: int
+    area_overhead_pct: float
+    power_overhead_pct: float
+    performance_penalty_db: float
+    requires_redesign: bool
+
+
+@dataclass(frozen=True)
+class RemovalSurface:
+    """What a removal attacker can exploit (paper Sec. II).
+
+    Attributes:
+        has_added_circuitry: Anything to cut out at all?
+        n_bias_nodes: Number of bias values the attacker must recover.
+        biases_fixed_per_design: True when the biases are identical for
+            every fabricated chip (the fatal weakness of [6]-[8], [11]);
+            False when they are per-chip tuning values ([9], [10] lock
+            functionality/tuning, not fixed biases).
+        replacement_difficulty: Qualitative 0..3 scale of replacing the
+            locked block with a 'fresh' one (0 = trivial bias re-gen,
+            3 = impossible, nothing to replace).
+    """
+
+    has_added_circuitry: bool
+    n_bias_nodes: int
+    biases_fixed_per_design: bool
+    replacement_difficulty: int
+
+
+class AnalogLockScheme(abc.ABC):
+    """Protocol every baseline implements."""
+
+    @property
+    @abc.abstractmethod
+    def profile(self) -> SchemeProfile:
+        """Static descriptor of the scheme."""
+
+    @property
+    @abc.abstractmethod
+    def correct_key(self) -> int:
+        """The secret key of this instance."""
+
+    @abc.abstractmethod
+    def unlocks(self, key: int) -> bool:
+        """Whether ``key`` restores nominal function on the testbench."""
+
+    @abc.abstractmethod
+    def removal_surface(self) -> RemovalSurface:
+        """The scheme's removal-attack surface."""
+
+    def lock_effectiveness(self, n_random_keys: int, rng) -> float:
+        """Fraction of random keys that fail to unlock (higher = better)."""
+        key_space = 1 << self.profile.key_bits
+        failures = 0
+        for _ in range(n_random_keys):
+            key = int(rng.integers(0, key_space))
+            if key == self.correct_key:
+                continue
+            if not self.unlocks(key):
+                failures += 1
+        return failures / n_random_keys

@@ -1,0 +1,116 @@
+"""[7] Parameter-biasing obfuscation (Rao & Savidis, LATS 2017).
+
+The original transistor of a biasing circuit is replaced by a bank of
+parallel transistors whose gates are enabled by key bits; only the
+combination whose *aggregate width* equals the original width restores
+the intended bias current.  Modelled with square-law MOS devices in the
+MNA engine: the key enables binary-weighted width segments of the
+current-source device of a simple bias branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.circuit import Circuit, MnaSolver, Mosfet, Resistor, VoltageSource
+
+#: Width segments in units of the unit device, binary weighted + decoys.
+SEGMENT_WIDTHS = (1, 2, 4, 8, 3, 6, 5, 7)
+
+#: The original transistor's width in unit-device multiples.
+TARGET_WIDTH = 15
+
+
+@dataclass
+class BiasObfuscationLock(AnalogLockScheme):
+    """Width-obfuscated current source.
+
+    The correct key enables segments summing exactly to the original
+    width.  The testbench is a resistively-loaded common-source bias
+    branch; the scheme unlocks when the branch current is within
+    ``tolerance`` of the nominal design current.
+    """
+
+    kp_unit: float = 5e-5
+    vth: float = 0.45
+    supply: float = 1.2
+    vbias: float = 0.75
+    tolerance: float = 0.03
+    _i_target: float = field(init=False)
+    _correct_key: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._correct_key = self._find_canonical_key()
+        self._i_target = self.branch_current(self._correct_key)
+
+    def _find_canonical_key(self) -> int:
+        """Lowest-index segment set summing to the target width."""
+        for key in range(1 << len(SEGMENT_WIDTHS)):
+            if self._width(key) == TARGET_WIDTH:
+                return key
+        raise RuntimeError("no segment combination reaches the target width")
+
+    @staticmethod
+    def _width(key: int) -> int:
+        return sum(
+            w for i, w in enumerate(SEGMENT_WIDTHS) if (key >> i) & 1
+        )
+
+    def branch_current(self, key: int) -> float:
+        """Bias-branch current for a key (MNA with square-law MOS)."""
+        if not 0 <= key < (1 << len(SEGMENT_WIDTHS)):
+            raise ValueError(f"key {key} out of range")
+        width = self._width(key)
+        if width == 0:
+            return 0.0
+        c = Circuit(title="bias_obfuscation")
+        c.add(VoltageSource("VDD", "vdd", "0", dc=self.supply))
+        c.add(VoltageSource("VB", "gate", "0", dc=self.vbias))
+        c.add(Resistor("Rd", "vdd", "drain", 2.2e3))
+        c.add(
+            Mosfet(
+                "Marr",
+                d="drain",
+                g="gate",
+                s="0",
+                kp=self.kp_unit * width,
+                vth=self.vth,
+            )
+        )
+        solution = MnaSolver(c).dc_operating_point()
+        return (self.supply - solution.v("drain")) / 2.2e3
+
+    # -- AnalogLockScheme -----------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="parameter-biasing obfuscation",
+            reference="[7]",
+            locks_what="width of biasing transistors",
+            added_circuitry=True,
+            key_bits=len(SEGMENT_WIDTHS),
+            area_overhead_pct=12.0,
+            power_overhead_pct=1.0,
+            performance_penalty_db=0.3,
+            requires_redesign=True,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self._correct_key
+
+    def unlocks(self, key: int) -> bool:
+        i = self.branch_current(key)
+        if self._i_target == 0.0:
+            return False
+        return abs(i - self._i_target) / self._i_target <= self.tolerance
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=1,
+            biases_fixed_per_design=True,
+            replacement_difficulty=0,
+        )

@@ -1,0 +1,108 @@
+"""[10] Locking the calibration loop's digital optimiser (Jayasankaran
+et al., ICCAD 2018).
+
+The on-chip calibration feedback loop contains a digital optimiser that
+turns measured performance indicators into tuning codes; logic-locking
+that optimiser means a wrong key produces wrong tuning settings.
+Modelled as a logic-locked successive-approximation (SAR) step driving
+a binary code search toward a target: with the correct key the SAR
+converges to the target code, with a wrong key it lands elsewhere and
+the (abstracted) analog block stays detuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.sat_attack import SatAttack, SatAttackResult
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.logic.bench_circuits import sar_optimizer_step
+from repro.logic.gates import Netlist
+from repro.logic.locking import LockedNetlist, lock_netlist
+
+N_CODE_BITS = 6
+
+
+@dataclass
+class CalibrationLoopLock(AnalogLockScheme):
+    """Logic-locked SAR optimiser in the tuning loop."""
+
+    target_code: int = 0b101101
+    n_key_bits: int = 10
+    seed: int = 9
+    original: Netlist = field(init=False)
+    locked: LockedNetlist = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.target_code < (1 << N_CODE_BITS):
+            raise ValueError(f"target code {self.target_code} out of range")
+        self.original = sar_optimizer_step(N_CODE_BITS)
+        rng = np.random.default_rng(self.seed)
+        self.locked = lock_netlist(self.original, self.n_key_bits, rng)
+
+    def _run_sar(self, key: int) -> int:
+        """Run the full SAR search using the (locked) step logic.
+
+        The comparator verdict ("higher") abstracts the analog
+        measurement: it reports whether the target code is >= the
+        current trial code, as a monotonic tuning knob would.
+        """
+        code = 0
+        for bit in reversed(range(N_CODE_BITS)):
+            trial = code | (1 << bit)
+            higher = int(self.target_code >= trial)
+            vec: dict[str, int] = {"higher": higher}
+            for i in range(N_CODE_BITS):
+                vec[f"code{i}"] = (trial >> i) & 1
+                vec[f"mask{i}"] = int(i == bit)
+            out = self.locked.evaluate_with_key(vec, key)
+            next_code = 0
+            for i in range(N_CODE_BITS):
+                next_code |= out[f"next{i}"] << i
+            # The step logic sets the next lower trial bit itself; strip
+            # it for the loop-carried code (we re-add per iteration).
+            if bit > 0:
+                next_code &= ~(1 << (bit - 1))
+            code = next_code
+        return code
+
+    # -- AnalogLockScheme ----------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="locked calibration optimiser",
+            reference="[10]",
+            locks_what="digital optimiser of the calibration loop",
+            added_circuitry=True,
+            key_bits=self.n_key_bits,
+            area_overhead_pct=3.0,
+            power_overhead_pct=1.5,
+            performance_penalty_db=0.0,
+            requires_redesign=False,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self.locked.correct_key
+
+    def unlocks(self, key: int) -> bool:
+        """Unlocked when the SAR converges to the intended tuning code."""
+        return self._run_sar(key) == self.target_code
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=0,
+            biases_fixed_per_design=False,
+            replacement_difficulty=2,
+        )
+
+    def run_sat_attack(self) -> SatAttackResult:
+        """Oracle-guided SAT attack on the locked optimiser step."""
+        attack = SatAttack(
+            locked=self.locked, oracle=self.locked.oracle(self.original)
+        )
+        return attack.run()

@@ -1,0 +1,103 @@
+"""[8] Current-mirror combinational locking (Wang et al., ITC 2017).
+
+The current mirrors providing the biasing are redesigned so that key
+transistors gate binary-weighted output legs: only the correct key
+yields the intended mirror ratio.  Modelled with square-law MOS devices
+in the MNA engine: a diode-connected reference and keyed output legs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.circuit import Circuit, CurrentSource, MnaSolver, Mosfet, Resistor, VoltageSource
+
+#: Output legs in unit-device multiples (binary weighted).
+LEG_WIDTHS = (1, 2, 4, 8, 16, 3)
+
+#: Intended mirror ratio in unit multiples.
+TARGET_RATIO_UNITS = 12
+
+
+@dataclass
+class CurrentMirrorLock(AnalogLockScheme):
+    """Keyed current mirror with binary-weighted output legs."""
+
+    i_ref: float = 50e-6
+    kp_unit: float = 4e-5
+    vth: float = 0.45
+    tolerance: float = 0.05
+    _correct_key: int = field(init=False)
+    _i_target: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._correct_key = self._find_canonical_key()
+        self._i_target = self.output_current(self._correct_key)
+
+    @staticmethod
+    def _units(key: int) -> int:
+        return sum(w for i, w in enumerate(LEG_WIDTHS) if (key >> i) & 1)
+
+    def _find_canonical_key(self) -> int:
+        for key in range(1 << len(LEG_WIDTHS)):
+            if self._units(key) == TARGET_RATIO_UNITS:
+                return key
+        raise RuntimeError("no leg combination reaches the target ratio")
+
+    def output_current(self, key: int) -> float:
+        """Mirrored output current for a key."""
+        if not 0 <= key < (1 << len(LEG_WIDTHS)):
+            raise ValueError(f"key {key} out of range")
+        units = self._units(key)
+        if units == 0:
+            return 0.0
+        c = Circuit(title="keyed_mirror")
+        # Reference branch: current source into a diode-connected device.
+        c.add(CurrentSource("Iref", "0", "ref", dc=self.i_ref))
+        c.add(Mosfet("Mref", d="ref", g="ref", s="0", kp=self.kp_unit, vth=self.vth))
+        # Output branch: supply through a load resistor into the keyed
+        # aggregate-width device (stays saturated for sane ratios).
+        c.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        c.add(Resistor("Rl", "vdd", "out", 1e3))
+        c.add(
+            Mosfet(
+                "Mout", d="out", g="ref", s="0", kp=self.kp_unit * units, vth=self.vth
+            )
+        )
+        solution = MnaSolver(c).dc_operating_point()
+        return (1.8 - solution.v("out")) / 1e3
+
+    # -- AnalogLockScheme ----------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="current-mirror combinational lock",
+            reference="[8]",
+            locks_what="mirror ratios of the bias distribution",
+            added_circuitry=True,
+            key_bits=len(LEG_WIDTHS),
+            area_overhead_pct=7.0,
+            power_overhead_pct=2.0,
+            performance_penalty_db=0.2,
+            requires_redesign=True,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self._correct_key
+
+    def unlocks(self, key: int) -> bool:
+        i = self.output_current(key)
+        if self._i_target <= 0.0:
+            return False
+        return abs(i - self._i_target) / self._i_target <= self.tolerance
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=2,
+            biases_fixed_per_design=True,
+            replacement_difficulty=0,
+        )

@@ -1,0 +1,101 @@
+"""[6] Memristor-crossbar bias locking (Hoe et al., ISVLSI 2014).
+
+The original work locks the body biasing of a sense amplifier's input
+pair behind a memristor crossbar: only the correct programmed
+resistance pattern produces the intended bias voltage.  Modelled here
+as a two-branch crossbar divider solved with the MNA engine; the key
+bits select each memristor's low/high state.
+
+Its weakness (paper Sec. II): the lock acts on a *bias* that is fixed
+per design — an attacker recovers the single bias voltage from any
+working chip and replaces the crossbar with a plain divider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.circuit import Circuit, Memristor, MnaSolver, Resistor, VoltageSource
+
+#: Key width: 8 memristors in the crossbar.
+N_DEVICES = 8
+
+
+@dataclass
+class MemristorBiasLock(AnalogLockScheme):
+    """Crossbar-locked body-bias generator.
+
+    Args:
+        correct_key_word: Programmed crossbar pattern (one bit per
+            device; bit=1 means low-resistance state).
+        supply: Bias supply voltage.
+        tolerance: Acceptable bias error for the sense amp to work, V.
+    """
+
+    correct_key_word: int = 0b10110100
+    supply: float = 1.2
+    tolerance: float = 0.04
+    _target: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._target = self.bias_voltage(self.correct_key_word)
+
+    def _crossbar(self, key: int) -> Circuit:
+        """Crossbar divider: four devices up, four down, keyed states."""
+        c = Circuit(title="memristor_bias")
+        c.add(VoltageSource("VDD", "vdd", "0", dc=self.supply))
+        for i in range(N_DEVICES):
+            state = float((key >> i) & 1)
+            top = i < N_DEVICES // 2
+            c.add(
+                Memristor(
+                    f"M{i}",
+                    "vdd" if top else "bias",
+                    "bias" if top else "0",
+                    r_on=20e3,
+                    r_off=400e3,
+                    state=state,
+                )
+            )
+        # Sense-amp body pin load.
+        c.add(Resistor("Rload", "bias", "0", 1e6))
+        return c
+
+    def bias_voltage(self, key: int) -> float:
+        """Generated body-bias voltage for a crossbar pattern."""
+        if not 0 <= key < (1 << N_DEVICES):
+            raise ValueError(f"key {key} out of range")
+        solution = MnaSolver(self._crossbar(key)).dc_operating_point()
+        return solution.v("bias")
+
+    # -- AnalogLockScheme ----------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="memristor crossbar bias lock",
+            reference="[6]",
+            locks_what="body bias of the sense-amp input pair",
+            added_circuitry=True,
+            key_bits=N_DEVICES,
+            area_overhead_pct=9.0,
+            power_overhead_pct=3.0,
+            performance_penalty_db=0.4,
+            requires_redesign=True,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self.correct_key_word
+
+    def unlocks(self, key: int) -> bool:
+        return abs(self.bias_voltage(key) - self._target) <= self.tolerance
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=1,
+            biases_fixed_per_design=True,
+            replacement_difficulty=0,
+        )

@@ -1,0 +1,84 @@
+"""[9] MixLock: mixed-signal locking via logic locking (Leonhard et al.,
+DATE 2019).
+
+Locks the *digital section* of the mixed-signal system — here the
+receiver's decimation-control decoder — with random XOR/XNOR key gates.
+A wrong key corrupts the decimation control, breaking the receiver even
+though the analog section is untouched.
+
+Strengths over the bias schemes: the key relates to functionality, not
+a few fixed biases.  Weaknesses (paper Secs. II, IV-B.1): a removal
+attacker can re-synthesise a "fresh" unlocked digital section, and the
+oracle-guided SAT attack applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.sat_attack import SatAttack, SatAttackResult
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.logic.bench_circuits import decimation_controller
+from repro.logic.gates import Netlist
+from repro.logic.locking import LockedNetlist, lock_netlist
+
+
+@dataclass
+class MixLock(AnalogLockScheme):
+    """Logic-locked decimation controller."""
+
+    n_key_bits: int = 10
+    seed: int = 5
+    original: Netlist = field(init=False)
+    locked: LockedNetlist = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.original = decimation_controller()
+        rng = np.random.default_rng(self.seed)
+        self.locked = lock_netlist(self.original, self.n_key_bits, rng)
+
+    # -- AnalogLockScheme ------------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="MixLock (logic-locked digital section)",
+            reference="[9]",
+            locks_what="digital section of the mixed-signal system",
+            added_circuitry=True,
+            key_bits=self.n_key_bits,
+            area_overhead_pct=2.5,
+            power_overhead_pct=1.0,
+            performance_penalty_db=0.0,
+            requires_redesign=False,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self.locked.correct_key
+
+    def unlocks(self, key: int) -> bool:
+        """Functional equivalence over the full (small) input space."""
+        n_inputs = len(self.original.inputs)
+        for word in range(1 << n_inputs):
+            vec = {net: (word >> i) & 1 for i, net in enumerate(self.original.inputs)}
+            if self.locked.evaluate_with_key(vec, key) != self.original.evaluate(vec):
+                return False
+        return True
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=0,
+            biases_fixed_per_design=False,
+            replacement_difficulty=2,
+        )
+
+    def run_sat_attack(self) -> SatAttackResult:
+        """The attack that defeats this baseline (paper Sec. IV-B.1)."""
+        attack = SatAttack(
+            locked=self.locked, oracle=self.locked.oracle(self.original)
+        )
+        return attack.run()

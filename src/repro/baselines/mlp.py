@@ -1,0 +1,72 @@
+"""Minimal dense neural network with from-scratch backpropagation.
+
+Substrate for the neural-network biasing baseline [11]: a two-layer
+tanh MLP trained with plain gradient descent on mean-squared error.
+numpy only — no autograd framework exists in this environment, so the
+gradients are written out by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TinyMlp:
+    """``n_in -> n_hidden (tanh) -> n_out (linear)`` regression net."""
+
+    n_in: int
+    n_hidden: int
+    n_out: int
+    seed: int = 0
+    w1: np.ndarray = field(init=False, repr=False)
+    b1: np.ndarray = field(init=False, repr=False)
+    w2: np.ndarray = field(init=False, repr=False)
+    b2: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        scale1 = 1.0 / np.sqrt(self.n_in)
+        scale2 = 1.0 / np.sqrt(self.n_hidden)
+        self.w1 = rng.normal(0.0, scale1, (self.n_in, self.n_hidden))
+        self.b1 = np.zeros(self.n_hidden)
+        self.w2 = rng.normal(0.0, scale2, (self.n_hidden, self.n_out))
+        self.b2 = np.zeros(self.n_out)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Predict outputs for a batch of inputs (n, n_in)."""
+        x = np.atleast_2d(x)
+        hidden = np.tanh(x @ self.w1 + self.b1)
+        return hidden @ self.w2 + self.b2
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 2000,
+        learning_rate: float = 0.05,
+    ) -> float:
+        """Full-batch gradient descent on MSE; returns the final loss."""
+        x = np.atleast_2d(x)
+        y = np.atleast_2d(y)
+        n = x.shape[0]
+        loss = np.inf
+        for _ in range(epochs):
+            hidden = np.tanh(x @ self.w1 + self.b1)
+            pred = hidden @ self.w2 + self.b2
+            err = pred - y
+            loss = float(np.mean(err**2))
+            # Backprop (MSE, linear output, tanh hidden).
+            grad_pred = 2.0 * err / n
+            grad_w2 = hidden.T @ grad_pred
+            grad_b2 = grad_pred.sum(axis=0)
+            grad_hidden = grad_pred @ self.w2.T * (1.0 - hidden**2)
+            grad_w1 = x.T @ grad_hidden
+            grad_b1 = grad_hidden.sum(axis=0)
+            self.w2 -= learning_rate * grad_w2
+            self.b2 -= learning_rate * grad_b2
+            self.w1 -= learning_rate * grad_w1
+            self.b1 -= learning_rate * grad_b1
+        return loss

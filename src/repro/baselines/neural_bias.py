@@ -1,0 +1,126 @@
+"""[11] Neural-network-based analog performance locking (Volanis et al.,
+VTS 2019).
+
+An on-chip neural network maps a secret *analog* key — DC voltages
+presented at extra input pins — to the correct bias codes.  Presenting
+anything but the enrolled voltage vector produces wrong biases and
+degraded performance.
+
+Modelled with the from-scratch MLP of :mod:`repro.baselines.mlp`: the
+net is trained to reproduce the calibrated bias codes at the secret
+voltage vector and decoy codes elsewhere, mimicking the obfuscation
+training of the original work.  Weakness (paper Sec. II): the *output*
+of the network is a handful of bias values, observable on a working
+chip and fixed per design — a removal attacker reads them once and
+replaces the network with hardwired biases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.baselines.mlp import TinyMlp
+
+#: Number of analog key pins (DC voltages in [0, 1] V).
+N_KEY_PINS = 4
+
+#: Quantisation of the analog key for the integer-key interface: each
+#: pin is a 4-bit DAC level, so the integer key packs 4x4 bits.
+PIN_BITS = 4
+
+
+@dataclass
+class NeuralBiasLock(AnalogLockScheme):
+    """MLP-locked bias generation.
+
+    Args:
+        bias_targets: The calibrated bias codes (normalised to [0,1])
+            the network must produce under the secret key.
+        secret_levels: The secret 4-bit DAC level per key pin.
+    """
+
+    bias_targets: tuple[float, ...] = (0.375, 0.5, 0.65)
+    secret_levels: tuple[int, ...] = (3, 11, 6, 14)
+    tolerance: float = 0.05
+    seed: int = 2
+    net: TinyMlp = field(init=False)
+    training_loss: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.secret_levels) != N_KEY_PINS:
+            raise ValueError(f"need {N_KEY_PINS} secret levels")
+        if any(not 0 <= lv < (1 << PIN_BITS) for lv in self.secret_levels):
+            raise ValueError("secret levels must be 4-bit")
+        rng = np.random.default_rng(self.seed)
+        self.net = TinyMlp(
+            n_in=N_KEY_PINS, n_hidden=24, n_out=len(self.bias_targets), seed=self.seed
+        )
+        # Training set: the secret point -> correct biases (replicated so
+        # the fit pins it exactly), decoy points -> random wrong biases
+        # (the obfuscation corpus).
+        x = [self._levels_to_voltages(self.secret_levels)] * 16
+        y = [np.array(self.bias_targets)] * 16
+        for _ in range(60):
+            decoy = rng.integers(0, 1 << PIN_BITS, N_KEY_PINS)
+            if tuple(decoy) == tuple(self.secret_levels):
+                continue
+            x.append(self._levels_to_voltages(decoy))
+            y.append(rng.uniform(0.0, 1.0, len(self.bias_targets)))
+        self.training_loss = self.net.train(
+            np.array(x), np.array(y), epochs=4000, learning_rate=0.08
+        )
+
+    @staticmethod
+    def _levels_to_voltages(levels) -> np.ndarray:
+        return (np.asarray(levels, dtype=float) + 0.5) / (1 << PIN_BITS)
+
+    def biases_for_levels(self, levels) -> np.ndarray:
+        """Bias codes produced for a vector of key-pin DAC levels."""
+        return self.net.forward(self._levels_to_voltages(levels))[0]
+
+    # -- AnalogLockScheme ------------------------------------------------------
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="neural-network biasing lock",
+            reference="[11]",
+            locks_what="bias generation behind an on-chip neural network",
+            added_circuitry=True,
+            key_bits=N_KEY_PINS * PIN_BITS,
+            area_overhead_pct=15.0,
+            power_overhead_pct=6.0,
+            performance_penalty_db=0.0,
+            requires_redesign=False,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        word = 0
+        for i, level in enumerate(self.secret_levels):
+            word |= level << (i * PIN_BITS)
+        return word
+
+    def _key_to_levels(self, key: int) -> tuple[int, ...]:
+        return tuple(
+            (key >> (i * PIN_BITS)) & ((1 << PIN_BITS) - 1) for i in range(N_KEY_PINS)
+        )
+
+    def unlocks(self, key: int) -> bool:
+        if not 0 <= key < (1 << (N_KEY_PINS * PIN_BITS)):
+            raise ValueError(f"key {key} out of range")
+        produced = self.biases_for_levels(self._key_to_levels(key))
+        return bool(
+            np.all(np.abs(produced - np.array(self.bias_targets)) <= self.tolerance)
+        )
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=True,
+            n_bias_nodes=len(self.bias_targets),
+            biases_fixed_per_design=True,
+            replacement_difficulty=0,
+        )

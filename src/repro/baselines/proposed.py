@@ -1,0 +1,76 @@
+"""The paper's proposed scheme wrapped in the baseline interface.
+
+Lets the comparison experiments treat "locking via the programmability
+fabric" as a seventh row of the Fig. 1 table: zero added circuitry,
+zero overhead, 64-bit key, no removal surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import AnalogLockScheme, RemovalSurface, SchemeProfile
+from repro.locking.scheme import ProgrammabilityLock
+from repro.receiver.config import KEY_BITS, ConfigWord
+from repro.receiver.standards import Standard
+
+
+@dataclass
+class ProposedFabricLock(AnalogLockScheme):
+    """Programmability-fabric locking as an :class:`AnalogLockScheme`.
+
+    Args:
+        lock: A provisioned :class:`ProgrammabilityLock`.
+        standard: The operation mode the comparison runs in.
+        n_fft: Measurement record length per key trial.
+    """
+
+    lock: ProgrammabilityLock
+    standard: Standard
+    n_fft: int = 2048
+    _correct: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._correct = self.lock.key_for(self.standard).encode()
+
+    @property
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="locking via the programmability fabric",
+            reference="this work",
+            locks_what="the complete analog functionality (tuning knobs)",
+            added_circuitry=False,
+            key_bits=KEY_BITS,
+            area_overhead_pct=0.0,
+            power_overhead_pct=0.0,
+            performance_penalty_db=0.0,
+            requires_redesign=False,
+        )
+
+    @property
+    def correct_key(self) -> int:
+        return self._correct
+
+    def unlocks(self, key: int) -> bool:
+        evaluation = self.lock.evaluate_key(
+            ConfigWord.decode(key), self.standard, n_fft=self.n_fft
+        )
+        return evaluation.unlocked
+
+    def removal_surface(self) -> RemovalSurface:
+        return RemovalSurface(
+            has_added_circuitry=False,
+            n_bias_nodes=0,
+            biases_fixed_per_design=False,
+            replacement_difficulty=3,
+        )
+
+    def lock_effectiveness(self, n_random_keys: int, rng: np.random.Generator) -> float:
+        """Fraction of random 64-bit keys that fail to unlock."""
+        failures = 0
+        for _ in range(n_random_keys):
+            if not self.unlocks(ConfigWord.random(rng).encode()):
+                failures += 1
+        return failures / n_random_keys

@@ -1,0 +1,19 @@
+"""Behavioural analog blocks of the programmable RF receiver (Figs. 4-6)."""
+
+from repro.blocks.comparator import Comparator
+from repro.blocks.dac import FeedbackDac, LoopDelay, OutputBuffer
+from repro.blocks.lc_tank import TunableLcTank
+from repro.blocks.preamp import PreAmplifier
+from repro.blocks.transconductor import InputTransconductor
+from repro.blocks.vglna import Vglna
+
+__all__ = [
+    "Comparator",
+    "FeedbackDac",
+    "InputTransconductor",
+    "LoopDelay",
+    "OutputBuffer",
+    "PreAmplifier",
+    "TunableLcTank",
+    "Vglna",
+]

@@ -1,0 +1,100 @@
+"""Clocked comparator (1-bit quantiser) with buffer mode (paper Fig. 6).
+
+In normal operation the comparator samples the pre-amplifier output at
+every clock edge and regenerates to +/-1.  Deactivating its driving
+clock turns it into a unity buffer (paper calibration step 1) — the
+mechanism behind the deceptive invalid key of Fig. 7: with the clock
+bit low, the analog waveform passes to the output without quantisation.
+
+The 5-bit bias code controls decision quality: starving the bias raises
+the input-referred decision noise and the effective offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.process.variations import ChipVariations
+from repro.receiver.design import FrontEndDesign
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """A specific chip's clocked comparator."""
+
+    design: FrontEndDesign
+    variations: ChipVariations
+
+    def decision_noise(self, code: int) -> float:
+        """RMS input-referred decision noise for a 5-bit bias code."""
+        d = self.design
+        if not 0 <= code < (1 << d.comp_bits):
+            raise ValueError(f"comparator code {code} out of range")
+        code_max = (1 << d.comp_bits) - 1
+        starvation = 1.0 - code / code_max
+        return (
+            d.comp_noise_floor
+            + (d.comp_noise_starved - d.comp_noise_floor) * starvation**2
+        ) * self.variations.noise_scale
+
+    def offset(self, code: int) -> float:
+        """Effective offset; bias starvation also degrades the offset."""
+        d = self.design
+        code_max = (1 << d.comp_bits) - 1
+        starvation = 1.0 - code / code_max
+        return self.variations.comp_offset * (1.0 + 2.0 * starvation)
+
+    def decide(self, v_in: float, code: int, noise_sample: float, previous: float) -> float:
+        """One clocked decision: returns +1.0 or -1.0.
+
+        Args:
+            v_in: Pre-amplifier output at the sampling instant.
+            code: 5-bit bias code.
+            noise_sample: Unit-normal draw, scaled by the decision noise.
+            previous: Previous decision, for the hysteresis term.
+        """
+        v_eff = (
+            v_in
+            + self.offset(code)
+            + noise_sample * self.decision_noise(code)
+            + self.design.comp_hysteresis * previous
+        )
+        return 1.0 if v_eff >= 0.0 else -1.0
+
+    #: Gain of the un-clocked regenerative stage used as a buffer.
+    BUFFER_GAIN = 2.0
+    #: Output clamp of the buffer-mode stage, volts.
+    BUFFER_CLAMP = 0.45
+    #: Output-referred wideband noise of the un-clocked stage, V rms.
+    BUFFER_OUTPUT_NOISE = 15e-3
+
+    def buffer_output(
+        self, v_in: float, code: int, noise_in: float, noise_out: float = 0.0
+    ) -> float:
+        """Output when the driving clock is deactivated (buffer mode).
+
+        Without regeneration the comparator is an open-loop amplifier:
+        nonlinear, clipping, and noisy.  Its odd-order distortion of a
+        tone near fs/4 aliases straight back into the signal band
+        (3*f0 folds to fs - 3*f0 = f0) and its wideband output noise
+        has no noise shaping to hide under — together these bound the
+        'deceptive' analog-passthrough SNR well below a properly
+        modulating loop, the paper's key #7 effect.
+
+        Args:
+            v_in: Pre-amplifier output.
+            code: 5-bit bias code.
+            noise_in: Unit-normal draw for the input-referred noise.
+            noise_out: Unit-normal draw for the output-referred noise.
+        """
+        v_eff = (
+            v_in
+            + self.offset(code)
+            + noise_in * self.decision_noise(code)
+        )
+        clamp = self.BUFFER_CLAMP
+        return (
+            clamp * math.tanh(self.BUFFER_GAIN * v_eff / clamp)
+            + noise_out * self.BUFFER_OUTPUT_NOISE
+        )

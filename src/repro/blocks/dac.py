@@ -1,0 +1,105 @@
+"""One-bit feedback DAC (paper Fig. 6).
+
+Converts the comparator decision into the NRZ feedback current pulled
+from the tank.  A 6-bit bias code trims the full-scale current, which
+sets the loop gain — the calibration optimiser searches this code for
+the best SNR.  When the comparator runs in buffer mode the DAC switches
+see an analog drive level; the tanh drive model reproduces the resulting
+partially-switched feedback current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.process.variations import ChipVariations
+from repro.receiver.design import FrontEndDesign
+
+
+@dataclass(frozen=True)
+class FeedbackDac:
+    """A specific chip's feedback DAC."""
+
+    design: FrontEndDesign
+    variations: ChipVariations
+
+    def full_scale(self, code: int, bias_scale: float = 1.0) -> float:
+        """Full-scale feedback current for a 6-bit code, amperes.
+
+        ``i_fs = i_ref * (0.25 + 1.5 * code / code_max)`` — the nominal
+        current sits near mid-code, so the calibrated code is chip- and
+        corner-dependent.
+        """
+        d = self.design
+        if not 0 <= code < (1 << d.dac_bits):
+            raise ValueError(f"dac code {code} out of range")
+        code_max = (1 << d.dac_bits) - 1
+        return (
+            d.dac_i_ref
+            * (0.25 + 1.5 * code / code_max)
+            * self.variations.dac_gain_scale
+            * bias_scale
+        )
+
+    def output_current(
+        self, drive: float, code: int, enabled: bool, bias_scale: float = 1.0
+    ) -> float:
+        """Feedback current for a drive level.
+
+        A digital drive of +/-1 switches the full-scale current; analog
+        drive levels (buffer-mode comparator) switch it partially.  The
+        current is *subtracted* from the tank by the caller (negative
+        feedback).
+        """
+        if not enabled:
+            return 0.0
+        i_fs = self.full_scale(code, bias_scale)
+        # Fully switched beyond |drive| ~ 0.3 V; linear below.
+        return i_fs * math.tanh(drive / 0.3)
+
+
+@dataclass(frozen=True)
+class LoopDelay:
+    """Programmable excess loop delay (paper Fig. 6, calibration step 11).
+
+    ``tau = delay_code / 8 * Ts`` plus a per-chip skew, spanning almost
+    two clock periods.  The fs/4 band-pass loop is only properly phased
+    (discrete loop filter ~ z^-2 * K / (1 + z^-2), poles inside the unit
+    circle) for delays around 1.5 periods — nominal code 12, "set
+    according to Fs" in calibration step 11.  Codes in the lower half
+    put the loop in its regenerative region and destroy the modulation,
+    which gives the delay field real locking bite.
+    """
+
+    design: FrontEndDesign
+    variations: ChipVariations
+
+    def delay_periods(self, code: int) -> float:
+        """Loop delay in units of the sampling period, within [0, 1.95]."""
+        if not 0 <= code < (1 << self.design.delay_bits):
+            raise ValueError(f"delay code {code} out of range")
+        half_span = (1 << self.design.delay_bits) // 2
+        tau = code / half_span + self.variations.delay_skew
+        return min(max(tau, 0.0), 1.95)
+
+
+@dataclass(frozen=True)
+class OutputBuffer:
+    """Output buffer adapting the modulator to its off-chip load.
+
+    Present in the signal path only during calibration/measurement
+    (paper calibration step 2); a 3-bit code trims its drive.
+    """
+
+    design: FrontEndDesign
+    variations: ChipVariations
+
+    def gain(self, code: int) -> float:
+        """Buffer voltage gain for a 3-bit code."""
+        if not 0 <= code < 8:
+            raise ValueError(f"buffer code {code} out of range")
+        return (
+            self.design.buffer_gain_base + self.design.buffer_gain_step * code
+        )

@@ -1,0 +1,130 @@
+"""Tunable LC band-pass loop filter (paper Fig. 6).
+
+The tank is a parallel RLC with two binary-weighted capacitor arrays —
+``Cc`` for coarse and ``Cf`` for fine tuning — and a programmable
+negative transconductor (-Gm) that cancels tank losses to enhance the
+quality factor.  Setting -Gm beyond the critical value makes the tank
+oscillate, which the calibration procedure exploits for centre-frequency
+tuning (steps 5-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.process.variations import ChipVariations
+from repro.receiver.design import TankDesign
+
+
+@dataclass(frozen=True)
+class TunableLcTank:
+    """A specific chip's LC tank: nominal design + variation draw."""
+
+    design: TankDesign
+    variations: ChipVariations
+
+    @property
+    def inductance(self) -> float:
+        """Actual tank inductance, henry."""
+        return self.design.inductance * self.variations.inductor_scale
+
+    def capacitance(self, cc_code: int, cf_code: int) -> float:
+        """Total tank capacitance for the given array codes.
+
+        Each array is binary weighted; every bit has its own mismatch
+        factor, so the code-to-capacitance map is chip-unique and,
+        crucially, *monotonic* and injective (Sec. VI-B.1: a desired
+        capacitance has a unique sub-key).
+        """
+        d = self.design
+        if not 0 <= cc_code < (1 << d.c_coarse_bits):
+            raise ValueError(f"cc_code {cc_code} out of range")
+        if not 0 <= cf_code < (1 << d.c_fine_bits):
+            raise ValueError(f"cf_code {cf_code} out of range")
+        total = d.c_fixed * self.variations.c_fixed_scale
+        for bit in range(d.c_coarse_bits):
+            if (cc_code >> bit) & 1:
+                total += (
+                    d.c_coarse_lsb
+                    * (1 << bit)
+                    * self.variations.coarse_unit_scales[bit]
+                )
+        for bit in range(d.c_fine_bits):
+            if (cf_code >> bit) & 1:
+                total += (
+                    d.c_fine_lsb * (1 << bit) * self.variations.fine_unit_scales[bit]
+                )
+        return float(total)
+
+    def loss_conductance(self, capacitance: float) -> float:
+        """Parallel loss conductance at the tank's resonance.
+
+        Modelled through the finite quality factor:
+        ``g = sqrt(C/L) / Q0``.
+        """
+        q0 = self.design.q_factor * self.variations.q_factor_scale
+        return math.sqrt(capacitance / self.inductance) / q0
+
+    def gmq(self, code: int) -> float:
+        """Q-enhancement transconductance for a 6-bit code, siemens."""
+        d = self.design
+        if not 0 <= code < (1 << d.gmq_bits):
+            raise ValueError(f"gmq code {code} out of range")
+        return code * d.gmq_lsb * self.variations.gmq_scale
+
+    def critical_gmq_code(self, cc_code: int, cf_code: int) -> int:
+        """Smallest -Gm code at which the tank oscillates."""
+        g_loss = self.loss_conductance(self.capacitance(cc_code, cf_code))
+        lsb = self.design.gmq_lsb * self.variations.gmq_scale
+        code = int(math.ceil(g_loss / lsb))
+        return min(code, (1 << self.design.gmq_bits) - 1)
+
+    def resonance_frequency(self, cc_code: int, cf_code: int) -> float:
+        """Natural frequency ``1 / (2 pi sqrt(L C))`` in Hz."""
+        c = self.capacitance(cc_code, cf_code)
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance * c))
+
+    def quality_factor(self, cc_code: int, cf_code: int, gmq_code: int) -> float:
+        """Effective Q with the -Gm enhancement engaged.
+
+        Returns ``inf`` when the net conductance is zero or negative
+        (oscillation).
+        """
+        c = self.capacitance(cc_code, cf_code)
+        g_eff = self.loss_conductance(c) - self.gmq(gmq_code)
+        if g_eff <= 0.0:
+            return math.inf
+        return math.sqrt(c / self.inductance) / g_eff
+
+    def state_matrices(self, cc_code: int, cf_code: int) -> tuple[np.ndarray, np.ndarray]:
+        """Continuous-time state-space of the *lossy* tank (no -Gm).
+
+        States are ``[v_tank, i_L]``; the input is a current injected
+        into the tank node.  The -Gm current is nonlinear (tanh-limited)
+        and is applied as an explicit input by the simulator.
+
+            C dv/dt = i_in - g_loss v - i_L
+            L di/dt = v
+        """
+        c = self.capacitance(cc_code, cf_code)
+        g = self.loss_conductance(c)
+        a = np.array(
+            [[-g / c, -1.0 / c], [1.0 / self.inductance, 0.0]], dtype=float
+        )
+        b = np.array([[1.0 / c], [0.0]], dtype=float)
+        return a, b
+
+    def gmq_current(self, gmq_code: int, v_tank: float) -> float:
+        """Instantaneous -Gm current: ``+gmq * vsat * tanh(v/vsat)``.
+
+        The positive sign implements the *negative* conductance (current
+        flows into the tank node in phase with its voltage); the tanh
+        models the transconductor's output saturation, which limits the
+        oscillation amplitude during calibration.
+        """
+        vsat = self.design.gmq_vsat
+        return self.gmq(gmq_code) * vsat * math.tanh(v_tank / vsat)

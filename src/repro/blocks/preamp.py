@@ -1,0 +1,56 @@
+"""Pre-amplifier between the tank and the comparator (paper Fig. 6).
+
+A 5-bit bias code sets the gain; the output clips at the supply-limited
+swing.  In the deceptive-key scenario (loop open, comparator clock off)
+this block's clipped output *is* the modulator output — an analog
+waveform that never gets digitised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.process.variations import ChipVariations
+from repro.receiver.design import FrontEndDesign
+
+
+@dataclass(frozen=True)
+class PreAmplifier:
+    """A specific chip's pre-amplifier."""
+
+    design: FrontEndDesign
+    variations: ChipVariations
+
+    def gain(self, code: int, bias_scale: float = 1.0) -> float:
+        """Voltage gain versus the 5-bit bias code.
+
+        The stage is bias-starved at low codes: gain grows roughly with
+        the square of the tail current setting, from a leakage-level
+        0.05 at code 0 to ``preamp_gain_max`` at full code.  A random
+        key with a starved pre-amp therefore kills the signal path.
+        """
+        d = self.design
+        if not 0 <= code < (1 << d.preamp_bits):
+            raise ValueError(f"preamp code {code} out of range")
+        code_max = (1 << d.preamp_bits) - 1
+        return (
+            (0.05 + d.preamp_gain_max * (code / code_max) ** 2)
+            * self.variations.preamp_scale
+            * bias_scale
+        )
+
+    def amplify(self, v_in: float, code: int, bias_scale: float = 1.0) -> float:
+        """Scalar soft-clipped amplification (used inside the sim loop)."""
+        v_clip = self.design.preamp_v_clip
+        return v_clip * math.tanh(self.gain(code, bias_scale) * v_in / v_clip)
+
+    def amplify_array(
+        self, v_in: np.ndarray, code: int, bias_scale: float = 1.0
+    ) -> np.ndarray:
+        """Vectorised version of :meth:`amplify`."""
+        v_clip = self.design.preamp_v_clip
+        return v_clip * np.tanh(self.gain(code, bias_scale) * v_in / v_clip)

@@ -1,0 +1,39 @@
+"""The paper's 14-step off-chip calibration procedure (the secret sauce)."""
+
+from repro.calibration.metering import (
+    frequency_of_oscillation_config,
+    is_oscillating,
+    oscillation_frequency,
+)
+from repro.calibration.optimizer import (
+    STEP14_FIELDS,
+    CoordinateDescentResult,
+    OptimizerTrace,
+    coordinate_descent,
+)
+from repro.calibration.procedure import (
+    NOMINAL_BIAS_CODES,
+    NOMINAL_DELAY_CODE,
+    CalibrationLogEntry,
+    CalibrationResult,
+    Calibrator,
+    segment_gain_plan,
+    vglna_gain_plan,
+)
+
+__all__ = [
+    "CalibrationLogEntry",
+    "CalibrationResult",
+    "Calibrator",
+    "CoordinateDescentResult",
+    "NOMINAL_BIAS_CODES",
+    "NOMINAL_DELAY_CODE",
+    "OptimizerTrace",
+    "STEP14_FIELDS",
+    "coordinate_descent",
+    "frequency_of_oscillation_config",
+    "is_oscillating",
+    "oscillation_frequency",
+    "segment_gain_plan",
+    "vglna_gain_plan",
+]

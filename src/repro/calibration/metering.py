@@ -1,0 +1,83 @@
+"""ATE-style measurements used by the off-chip calibration.
+
+The calibration algorithm never inspects the chip model's internals: it
+observes the output buffer, exactly like the paper's off-chip flow with
+external automated test equipment.  This module provides the two meters
+the procedure needs: an oscillation-frequency meter (FFT peak with
+parabolic interpolation) and an oscillation detector (envelope growth).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dsp.spectrum import periodogram
+
+
+def oscillation_frequency(samples: np.ndarray, fs: float) -> float | None:
+    """Dominant oscillation frequency of a captured waveform, Hz.
+
+    Uses the periodogram peak refined by parabolic interpolation of the
+    log-power of the three bins around it (standard frequency-metering
+    practice, good to a small fraction of a bin).  Returns None when the
+    record is not oscillating (no dominant line above the noise).
+    """
+    x = np.asarray(samples, dtype=float)
+    x = x - np.mean(x)
+    rms = float(np.sqrt(np.mean(x**2)))
+    if rms < 1e-6:
+        return None
+    spec = periodogram(x, fs, window="hann")
+    peak = int(np.argmax(spec.power[1:-1])) + 1
+    total = float(np.sum(spec.power))
+    if spec.power[peak] < 0.2 * total:
+        # Power not concentrated in a line: noise, not oscillation.
+        return None
+    p_l = max(spec.power[peak - 1], 1e-300)
+    p_c = max(spec.power[peak], 1e-300)
+    p_r = max(spec.power[peak + 1], 1e-300)
+    a, b, c = math.log(p_l), math.log(p_c), math.log(p_r)
+    denom = a - 2.0 * b + c
+    delta = 0.0 if abs(denom) < 1e-12 else 0.5 * (a - c) / denom
+    delta = max(min(delta, 0.5), -0.5)
+    return (peak + delta) * spec.bin_width
+
+
+def is_oscillating(samples: np.ndarray, fs: float, min_amplitude: float = 0.08) -> bool:
+    """Whether a captured record shows sustained (non-decaying) oscillation.
+
+    The record is split in half: sustained oscillation keeps (or grows)
+    its RMS in the second half and exceeds ``min_amplitude``.  The
+    threshold sits well above the buffer-mode output noise (~15 mV rms)
+    and well below the saturated oscillation swing (~0.3 V rms).
+    """
+    x = np.asarray(samples, dtype=float)
+    x = x - np.mean(x)
+    half = x.size // 2
+    rms_first = float(np.sqrt(np.mean(x[:half] ** 2)))
+    rms_second = float(np.sqrt(np.mean(x[half:] ** 2)))
+    if rms_second < min_amplitude:
+        return False
+    return rms_second > 0.5 * rms_first
+
+
+def frequency_of_oscillation_config(
+    chip,
+    config,
+    fs: float,
+    gmq_code: int | None = None,
+    n_samples: int = 4096,
+    seed: int = 0,
+) -> float | None:
+    """Measure the free-running tank frequency for given cap codes.
+
+    Wraps :meth:`Chip.simulate_oscillation` and the frequency meter.
+    """
+    result = chip.simulate_oscillation(
+        config, fs, n_samples=n_samples, gmq_code=gmq_code, seed=seed
+    )
+    # Skip the start-up transient: use the second half of the record.
+    settled = result.output[n_samples // 2 :]
+    return oscillation_frequency(settled, fs)

@@ -1,0 +1,110 @@
+"""Coordinate-descent bias optimisation (calibration step 14).
+
+"An iterative procedure is used to determine the configuration words of
+these blocks through the improvement of the measured Signal-to-Noise
+Ratio (SNR) and Spurious Free Dynamic Range (SFDR)" — implemented as a
+multi-resolution coordinate descent over the bias codes of Gmin, the
+feedback DAC, the pre-amplifier and the comparator, driven purely by
+measured performance.
+
+This optimiser is deliberately *not* a generic black-box search: it
+encodes designer knowledge (which fields to touch, in which order, from
+which simulation-derived starting point).  That knowledge is exactly
+the secret the paper argues an attacker lacks (Sec. VI-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.receiver.config import ConfigWord
+
+#: The bias fields step 14 iterates over, in calibration order, with the
+#: width of each field.
+STEP14_FIELDS: tuple[tuple[str, int], ...] = (
+    ("gmin_code", 6),
+    ("dac_code", 6),
+    ("preamp_code", 5),
+    ("comp_code", 5),
+    ("bias_global", 3),
+)
+
+
+@dataclass
+class OptimizerTrace:
+    """Record of one objective evaluation."""
+
+    config: ConfigWord
+    score: float
+
+
+@dataclass
+class CoordinateDescentResult:
+    """Outcome of the bias optimisation.
+
+    Attributes:
+        config: Best configuration found.
+        score: Its objective value.
+        n_evaluations: Number of oracle measurements spent.
+        trace: Every (configuration, score) evaluated, in order.
+    """
+
+    config: ConfigWord
+    score: float
+    n_evaluations: int
+    trace: list[OptimizerTrace] = field(default_factory=list)
+
+
+def coordinate_descent(
+    objective: Callable[[ConfigWord], float],
+    start: ConfigWord,
+    fields: tuple[tuple[str, int], ...] = STEP14_FIELDS,
+    passes: int = 2,
+    initial_step: int = 8,
+) -> CoordinateDescentResult:
+    """Maximise ``objective`` over the given configuration fields.
+
+    Each field is hill-climbed with shrinking step sizes (8, 4, 2, 1 by
+    default); the whole field list is swept ``passes`` times.  The
+    objective is typically a measured SNR (optionally blended with an
+    SFDR penalty) and is treated as expensive: results are memoised so
+    a configuration is never measured twice.
+    """
+    cache: dict[int, float] = {}
+    trace: list[OptimizerTrace] = []
+
+    def evaluate(config: ConfigWord) -> float:
+        word = config.encode()
+        if word not in cache:
+            cache[word] = objective(config)
+            trace.append(OptimizerTrace(config=config, score=cache[word]))
+        return cache[word]
+
+    current = start
+    best_score = evaluate(current)
+    for _ in range(passes):
+        for name, width in fields:
+            code_max = (1 << width) - 1
+            step = min(initial_step, max(code_max // 4, 1))
+            while step >= 1:
+                improved = True
+                while improved:
+                    improved = False
+                    code = getattr(current, name)
+                    for candidate in (code - step, code + step):
+                        if not 0 <= candidate <= code_max:
+                            continue
+                        trial = current.replace(**{name: candidate})
+                        score = evaluate(trial)
+                        if score > best_score:
+                            best_score = score
+                            current = trial
+                            improved = True
+                step //= 2
+    return CoordinateDescentResult(
+        config=current,
+        score=best_score,
+        n_evaluations=len(cache),
+        trace=trace,
+    )

@@ -1,0 +1,325 @@
+"""The paper's 14-step off-chip calibration procedure (Sec. V-B).
+
+This module is the "secret calibration algorithm" of the locking scheme.
+It drives a chip through the exact sequence the paper lists:
+
+ 1. comparator configured as a buffer (clock deactivated),
+ 2. output buffer configured for the off-chip load,
+ 3. RF input disabled (Gmin off),
+ 4. feedback loop (DAC + loop delay) turned off,
+ 5. LC filter in oscillation mode (-Gm at maximum),
+ 6. capacitor arrays Cc then Cf tuned until the oscillation frequency
+    equals the target centre frequency,
+ 7. -Gm reduced until the oscillation vanishes,
+ 8. feedback loop restored,
+ 9. RF input applied at F0,
+10. sampling frequency set to Fs = 4 F0,
+11. loop delay set according to Fs,
+12. VGLNA tuned for the target sensitivity/dynamic range,
+13. Gmin / DAC / pre-amp / comparator initialised to nominal values
+    from design simulation,
+14. iterative bias optimisation on measured SNR (and SFDR).
+
+All tuning decisions are made from *measurements* (oscillation frequency
+metering, SNR/SFDR readings), never from the chip model's internals, so
+the procedure works on any process-varied chip exactly as the real flow
+works on silicon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.calibration.metering import frequency_of_oscillation_config, is_oscillating
+from repro.calibration.optimizer import CoordinateDescentResult, coordinate_descent
+from repro.dsp.units import dbm_to_vamp
+from repro.receiver.config import ConfigWord
+from repro.receiver.performance import (
+    DEFAULT_POWER_DBM,
+    SEGMENT_RANGES,
+    GainSegment,
+    measure_modulator_snr,
+    measure_sfdr,
+)
+from repro.receiver.receiver import Chip
+from repro.receiver.standards import Standard
+
+#: Step-13 nominal bias codes "determined by simulation" on the nominal
+#: design — these are part of the secret calibration knowledge.
+NOMINAL_BIAS_CODES = {
+    "gmin_code": 24,
+    "dac_code": 32,
+    "preamp_code": 20,
+    "comp_code": 28,
+    "bias_global": 4,
+}
+
+#: Step-11 nominal loop-delay code ("set according to Fs"): 1.5 periods.
+NOMINAL_DELAY_CODE = 12
+
+#: Step-2 nominal output-buffer code.
+NOMINAL_BUFFER_CODE = 4
+
+#: Target VGLNA output amplitude the sensitivity plan aims at, volts.
+LNA_TARGET_AMPLITUDE = 0.14
+
+#: Acceptable relative centre-frequency error after step 6.
+FREQ_TOLERANCE = 0.004
+
+
+@dataclass
+class CalibrationLogEntry:
+    """One step of the calibration, for audit/tests."""
+
+    step: int
+    description: str
+    value: float | int | None = None
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of calibrating one chip for one standard.
+
+    Attributes:
+        config: The calibrated configuration word — the secret key.
+        standard: The standard calibrated for.
+        achieved_frequency: Measured oscillation frequency after tuning.
+        snr_db: Final measured SNR at the modulator output.
+        sfdr_db: Final measured SFDR.
+        success: Whether the result meets the standard's specification.
+        n_measurements: Total oracle measurements spent.
+        log: Step-by-step audit trail.
+        segment_gains: Per-segment VGLNA plan (paper Fig. 11).
+    """
+
+    config: ConfigWord
+    standard: Standard
+    achieved_frequency: float
+    snr_db: float
+    sfdr_db: float
+    success: bool
+    n_measurements: int
+    log: list[CalibrationLogEntry] = field(default_factory=list)
+    segment_gains: tuple[GainSegment, ...] = ()
+
+
+def vglna_gain_plan(chip: Chip, power_dbm: float) -> int:
+    """Step 12: VGLNA code for an expected input power (sensitivity plan).
+
+    Chooses the gain that brings the expected tone amplitude to the
+    transconductor's optimal drive level.
+    """
+    d = chip.design.vglna
+    amp = dbm_to_vamp(power_dbm)
+    wanted_db = 20.0 * math.log10(LNA_TARGET_AMPLITUDE / amp)
+    code = round((wanted_db - d.gain_min_db) / d.gain_step_db)
+    return max(0, min(15, code))
+
+
+def segment_gain_plan(chip: Chip) -> tuple[GainSegment, ...]:
+    """VGLNA plan for the paper's three dynamic-range segments."""
+    segments = []
+    for lo, hi in SEGMENT_RANGES:
+        centre = 0.5 * (lo + hi)
+        segments.append(GainSegment(lo, hi, vglna_gain_plan(chip, centre)))
+    return tuple(segments)
+
+
+class Calibrator:
+    """Runs the 14-step procedure on chips.
+
+    Args:
+        n_fft: FFT length for the step-14 SNR measurements (a smaller
+            record keeps the optimisation fast; the final verification
+            uses the full record).
+        optimizer_passes: Coordinate-descent sweeps over the bias fields.
+        sfdr_weight: Weight of the SFDR shortfall in the step-14
+            objective.
+        seed: Measurement noise seed.
+    """
+
+    def __init__(
+        self,
+        n_fft: int = 4096,
+        optimizer_passes: int = 2,
+        sfdr_weight: float = 0.3,
+        seed: int = 0,
+    ):
+        self.n_fft = n_fft
+        self.optimizer_passes = optimizer_passes
+        self.sfdr_weight = sfdr_weight
+        self.seed = seed
+        self._n_measurements = 0
+
+    # -- steps 5-6: frequency tuning --------------------------------------
+
+    def _measure_fosc(self, chip: Chip, config: ConfigWord, standard: Standard) -> float | None:
+        self._n_measurements += 1
+        return frequency_of_oscillation_config(
+            chip, config, standard.fs, seed=self.seed
+        )
+
+    def tune_capacitor_arrays(
+        self, chip: Chip, config: ConfigWord, standard: Standard
+    ) -> tuple[ConfigWord, float]:
+        """Step 6: binary-search Cc (coarse) then Cf (fine) to hit F0.
+
+        Oscillation frequency falls monotonically with capacitance, and
+        capacitance rises monotonically with either array code, so both
+        searches are classic binary searches on measured frequency.
+        """
+        target = standard.f_center
+
+        def fosc(cc: int, cf: int) -> float:
+            freq = self._measure_fosc(
+                chip, config.replace(cc_coarse=cc, cf_fine=cf), standard
+            )
+            if freq is None:
+                raise RuntimeError(
+                    "tank failed to oscillate during frequency tuning"
+                )
+            return freq
+
+        # Coarse: binary search with the fine array mid-scale so the fine
+        # range straddles the coarse residual in both directions.
+        lo, hi = 0, 255
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if fosc(mid, 128) > target:
+                lo = mid + 1  # frequency too high -> need more C
+            else:
+                hi = mid
+        cc_best = lo
+        if cc_best > 0 and abs(fosc(cc_best - 1, 128) - target) < abs(
+            fosc(cc_best, 128) - target
+        ):
+            cc_best -= 1
+
+        lo, hi = 0, 255
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if fosc(cc_best, mid) > target:
+                lo = mid + 1
+            else:
+                hi = mid
+        cf_best = lo
+        if cf_best > 0 and abs(fosc(cc_best, cf_best - 1) - target) < abs(
+            fosc(cc_best, cf_best) - target
+        ):
+            cf_best -= 1
+
+        achieved = fosc(cc_best, cf_best)
+        return config.replace(cc_coarse=cc_best, cf_fine=cf_best), achieved
+
+    def back_off_q_enhancement(
+        self, chip: Chip, config: ConfigWord, standard: Standard
+    ) -> ConfigWord:
+        """Step 7: reduce -Gm until oscillation vanishes.
+
+        Binary search for the smallest oscillating code, then sit one
+        code below it (maximum loss cancellation without oscillation).
+        """
+        def oscillates(code: int) -> bool:
+            self._n_measurements += 1
+            result = chip.simulate_oscillation(
+                config, standard.fs, gmq_code=code, seed=self.seed
+            )
+            return is_oscillating(result.output[2048:], standard.fs)
+
+        lo, hi = 0, 63
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if oscillates(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        critical = lo
+        return config.replace(gmq_code=max(critical - 1, 0))
+
+    # -- step 14: bias optimisation ----------------------------------------
+
+    def optimise_biases(
+        self, chip: Chip, config: ConfigWord, standard: Standard
+    ) -> CoordinateDescentResult:
+        """Step 14: coordinate descent on measured SNR (+ SFDR shortfall)."""
+        def objective(candidate: ConfigWord) -> float:
+            self._n_measurements += 1
+            snr = measure_modulator_snr(
+                chip, candidate, standard, n_fft=self.n_fft, seed=self.seed
+            ).snr_db
+            score = snr
+            if self.sfdr_weight > 0.0:
+                self._n_measurements += 1
+                sfdr = measure_sfdr(
+                    chip, candidate, standard, n_fft=self.n_fft, seed=self.seed
+                ).sfdr_db
+                score += self.sfdr_weight * min(0.0, sfdr - standard.sfdr_spec_db)
+            return score
+
+        return coordinate_descent(
+            objective, config, passes=self.optimizer_passes
+        )
+
+    # -- the full procedure ---------------------------------------------------
+
+    def calibrate(
+        self,
+        chip: Chip,
+        standard: Standard,
+        power_dbm: float = DEFAULT_POWER_DBM,
+    ) -> CalibrationResult:
+        """Run steps 1-14 and return the chip's secret key for ``standard``."""
+        self._n_measurements = 0
+        log: list[CalibrationLogEntry] = []
+
+        # Steps 1-5 configure the loop topology for oscillation-mode
+        # tuning; Chip.simulate_oscillation applies them on every
+        # measurement (comparator buffered, input off, loop off, -Gm max).
+        config = ConfigWord(
+            buffer_code=NOMINAL_BUFFER_CODE,
+            delay_code=NOMINAL_DELAY_CODE,
+            **NOMINAL_BIAS_CODES,
+        )
+        log.append(CalibrationLogEntry(1, "comparator configured as buffer"))
+        log.append(CalibrationLogEntry(2, "output buffer set", NOMINAL_BUFFER_CODE))
+        log.append(CalibrationLogEntry(3, "RF input disabled"))
+        log.append(CalibrationLogEntry(4, "feedback loop disabled"))
+        log.append(CalibrationLogEntry(5, "-Gm set to maximum", 63))
+
+        config, achieved = self.tune_capacitor_arrays(chip, config, standard)
+        log.append(CalibrationLogEntry(6, "capacitor arrays tuned", achieved))
+
+        config = self.back_off_q_enhancement(chip, config, standard)
+        log.append(CalibrationLogEntry(7, "-Gm backed off", config.gmq_code))
+
+        config = config.replace(fb_en=1, dac_en=1, comp_clk_en=1, gmin_en=1)
+        log.append(CalibrationLogEntry(8, "feedback loop restored"))
+        log.append(CalibrationLogEntry(9, "RF input applied at F0"))
+        log.append(CalibrationLogEntry(10, "Fs set to 4*F0", standard.fs))
+        log.append(CalibrationLogEntry(11, "loop delay set", NOMINAL_DELAY_CODE))
+
+        lna_code = vglna_gain_plan(chip, power_dbm)
+        config = config.replace(lna_gain=lna_code)
+        log.append(CalibrationLogEntry(12, "VGLNA tuned", lna_code))
+        log.append(CalibrationLogEntry(13, "bias blocks initialised"))
+
+        opt = self.optimise_biases(chip, config, standard)
+        config = opt.config
+        log.append(CalibrationLogEntry(14, "bias optimisation done", opt.score))
+
+        snr = measure_modulator_snr(chip, config, standard, seed=self.seed).snr_db
+        sfdr = measure_sfdr(chip, config, standard, seed=self.seed).sfdr_db
+        self._n_measurements += 2
+        success = snr >= standard.snr_spec_db and sfdr >= standard.sfdr_spec_db - 10.0
+        return CalibrationResult(
+            config=config,
+            standard=standard,
+            achieved_frequency=achieved,
+            snr_db=snr,
+            sfdr_db=sfdr,
+            success=success,
+            n_measurements=self._n_measurements,
+            log=log,
+            segment_gains=segment_gain_plan(chip),
+        )

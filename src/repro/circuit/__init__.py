@@ -1,0 +1,37 @@
+"""Lightweight analog circuit engine (netlist + MNA DC/AC solver).
+
+Stands in for the commercial SPICE flow the paper's authors used, for
+the element-level pieces of the reproduction: LC-tank cross-validation
+and the bias-circuit locking baselines.
+"""
+
+from repro.circuit.mna import AcSolution, ConvergenceError, DcSolution, MnaSolver
+from repro.circuit.netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Memristor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    VoltageSource,
+)
+
+__all__ = [
+    "AcSolution",
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "CurrentSource",
+    "DcSolution",
+    "GROUND",
+    "Inductor",
+    "Memristor",
+    "MnaSolver",
+    "Mosfet",
+    "Resistor",
+    "Vccs",
+    "VoltageSource",
+]

@@ -1,0 +1,301 @@
+"""Modified nodal analysis: DC operating point and small-signal AC.
+
+The solver builds stamp matrices over the unknown vector
+``[node voltages | voltage-source branch currents | inductor branch
+currents]`` and solves with dense linear algebra — circuits here are a
+few dozen nodes at most (bias networks, tanks), so sparsity machinery
+would be overhead without benefit.
+
+Nonlinear circuits (MOSFETs) are solved by damped Newton iteration with
+each device replaced by its linearised companion model at the current
+voltage estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Memristor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    VoltageSource,
+)
+
+#: Conductance from every node to ground, guaranteeing non-singularity.
+GMIN = 1e-12
+
+
+class ConvergenceError(RuntimeError):
+    """Newton iteration failed to converge to an operating point."""
+
+
+@dataclass
+class DcSolution:
+    """DC operating point: node voltages and source branch currents."""
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+
+    def v(self, node: str) -> float:
+        """Voltage at ``node`` (ground is 0 by definition)."""
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+@dataclass
+class AcSolution:
+    """Small-signal AC solution at a set of frequencies."""
+
+    freqs: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def v(self, node: str) -> np.ndarray:
+        """Complex node voltage vs frequency (ground is 0)."""
+        if node == GROUND:
+            return np.zeros_like(self.freqs, dtype=complex)
+        return self.voltages[node]
+
+
+class MnaSolver:
+    """Stamp-based MNA solver bound to one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._nodes = circuit.nodes()
+        self._node_index = {n: i for i, n in enumerate(self._nodes)}
+        self._vsources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+        self._inductors = [e for e in circuit.elements if isinstance(e, Inductor)]
+        self._n_nodes = len(self._nodes)
+        self._size = self._n_nodes + len(self._vsources) + len(self._inductors)
+
+    # -- index helpers ---------------------------------------------------
+
+    def _idx(self, node: str) -> int | None:
+        """Matrix index of ``node`` or None for ground."""
+        if node == GROUND:
+            return None
+        return self._node_index[node]
+
+    def _vsource_row(self, k: int) -> int:
+        return self._n_nodes + k
+
+    def _inductor_row(self, k: int) -> int:
+        return self._n_nodes + len(self._vsources) + k
+
+    @staticmethod
+    def _stamp_conductance(matrix: np.ndarray, i: int | None, j: int | None, g: float) -> None:
+        """Stamp a two-terminal conductance between rows/cols i and j."""
+        if i is not None:
+            matrix[i, i] += g
+        if j is not None:
+            matrix[j, j] += g
+        if i is not None and j is not None:
+            matrix[i, j] -= g
+            matrix[j, i] -= g
+
+    @staticmethod
+    def _stamp_current(rhs: np.ndarray, i: int | None, j: int | None, current: float) -> None:
+        """Stamp a current flowing from node i into node j."""
+        if i is not None:
+            rhs[i] -= current
+        if j is not None:
+            rhs[j] += current
+
+    def _stamp_vccs(
+        self, matrix: np.ndarray, out_p: int | None, out_n: int | None,
+        ctrl_p: int | None, ctrl_n: int | None, gm: float,
+    ) -> None:
+        """Stamp gm*(v_cp - v_cn) flowing from out_p to out_n."""
+        for row, sign_row in ((out_p, 1.0), (out_n, -1.0)):
+            if row is None:
+                continue
+            if ctrl_p is not None:
+                matrix[row, ctrl_p] += sign_row * gm
+            if ctrl_n is not None:
+                matrix[row, ctrl_n] -= sign_row * gm
+
+    # -- DC analysis -----------------------------------------------------
+
+    def dc_operating_point(
+        self,
+        max_iterations: int = 200,
+        tolerance: float = 1e-9,
+        damping_limit: float = 0.5,
+    ) -> DcSolution:
+        """Solve the DC operating point.
+
+        Linear circuits converge in one Newton step; MOS circuits iterate
+        with per-step voltage updates clamped to ``damping_limit`` volts.
+        """
+        x = np.zeros(self._size)
+        mosfets = [e for e in self.circuit.elements if isinstance(e, Mosfet)]
+        for _ in range(max_iterations):
+            matrix, rhs = self._build_dc_system(x, mosfets)
+            x_new = np.linalg.solve(matrix, rhs)
+            delta = x_new - x
+            max_step = np.max(np.abs(delta)) if delta.size else 0.0
+            if max_step > damping_limit:
+                delta *= damping_limit / max_step
+            x = x + delta
+            if max_step < tolerance:
+                return self._package_dc(x)
+        if not mosfets:
+            return self._package_dc(x)
+        raise ConvergenceError(
+            f"Newton failed after {max_iterations} iterations "
+            f"(last step {max_step:.3e} V)"
+        )
+
+    def _build_dc_system(
+        self, x: np.ndarray, mosfets: list[Mosfet]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        matrix = np.zeros((self._size, self._size))
+        rhs = np.zeros(self._size)
+        for i in range(self._n_nodes):
+            matrix[i, i] += GMIN
+        for e in self.circuit.elements:
+            if isinstance(e, (Resistor, Memristor)):
+                self._stamp_conductance(
+                    matrix, self._idx(e.n1), self._idx(e.n2), 1.0 / e.resistance
+                )
+            elif isinstance(e, Capacitor):
+                continue  # open at DC
+            elif isinstance(e, CurrentSource):
+                self._stamp_current(rhs, self._idx(e.n1), self._idx(e.n2), e.dc)
+            elif isinstance(e, Vccs):
+                self._stamp_vccs(
+                    matrix, self._idx(e.n1), self._idx(e.n2),
+                    self._idx(e.cp), self._idx(e.cn), e.gm,
+                )
+        for k, src in enumerate(self._vsources):
+            row = self._vsource_row(k)
+            for node, sign in ((src.n1, 1.0), (src.n2, -1.0)):
+                idx = self._idx(node)
+                if idx is not None:
+                    matrix[idx, row] += sign
+                    matrix[row, idx] += sign
+            rhs[row] = src.dc
+        for k, ind in enumerate(self._inductors):
+            row = self._inductor_row(k)
+            for node, sign in ((ind.n1, 1.0), (ind.n2, -1.0)):
+                idx = self._idx(node)
+                if idx is not None:
+                    matrix[idx, row] += sign
+                    matrix[row, idx] += sign
+            # DC short: v(n1) - v(n2) = 0, current is the branch unknown.
+        for mos in mosfets:
+            self._stamp_mosfet(matrix, rhs, mos, x)
+        return matrix, rhs
+
+    def _stamp_mosfet(
+        self, matrix: np.ndarray, rhs: np.ndarray, mos: Mosfet, x: np.ndarray
+    ) -> None:
+        """Stamp the Newton companion model of ``mos`` at estimate ``x``."""
+        def volt(node: str) -> float:
+            idx = self._idx(node)
+            return 0.0 if idx is None else x[idx]
+
+        vg, vd, vs = volt(mos.g), volt(mos.d), volt(mos.s)
+        ids, gm, gds = mos.small_signal(vg, vd, vs)
+        d, g, s = self._idx(mos.d), self._idx(mos.g), self._idx(mos.s)
+        # Companion model.  In either polarity the signed drain current
+        # linearises as  I_D = ids + gm*(dvg - dvs) + gds*(dvd - dvs)
+        # because the polarity signs of gm/gds and of the controlling
+        # voltages cancel.  I_D flows from drain to source.
+        self._stamp_conductance(matrix, d, s, gds)
+        self._stamp_vccs(matrix, d, s, g, s, gm)
+        ieq = ids - gm * (vg - vs) - gds * (vd - vs)
+        self._stamp_current(rhs, d, s, ieq)
+
+    def _package_dc(self, x: np.ndarray) -> DcSolution:
+        voltages = {n: float(x[i]) for n, i in self._node_index.items()}
+        branch: dict[str, float] = {}
+        for k, src in enumerate(self._vsources):
+            branch[src.name] = float(x[self._vsource_row(k)])
+        for k, ind in enumerate(self._inductors):
+            branch[ind.name] = float(x[self._inductor_row(k)])
+        return DcSolution(voltages=voltages, branch_currents=branch)
+
+    # -- AC analysis -------------------------------------------------------
+
+    def ac_analysis(
+        self, freqs: np.ndarray, operating_point: DcSolution | None = None
+    ) -> AcSolution:
+        """Small-signal analysis across ``freqs`` (Hz).
+
+        MOSFETs are linearised at ``operating_point`` (computed on demand
+        for circuits that contain them).
+        """
+        freqs = np.asarray(freqs, dtype=float)
+        mosfets = [e for e in self.circuit.elements if isinstance(e, Mosfet)]
+        if mosfets and operating_point is None:
+            operating_point = self.dc_operating_point()
+        results = {n: np.zeros(freqs.size, dtype=complex) for n in self._nodes}
+        for fi, f in enumerate(freqs):
+            omega = 2.0 * np.pi * f
+            matrix, rhs = self._build_ac_system(omega, mosfets, operating_point)
+            x = np.linalg.solve(matrix, rhs)
+            for n, i in self._node_index.items():
+                results[n][fi] = x[i]
+        return AcSolution(freqs=freqs, voltages=results)
+
+    def _build_ac_system(
+        self,
+        omega: float,
+        mosfets: list[Mosfet],
+        op: DcSolution | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        matrix = np.zeros((self._size, self._size), dtype=complex)
+        rhs = np.zeros(self._size, dtype=complex)
+        for i in range(self._n_nodes):
+            matrix[i, i] += GMIN
+        for e in self.circuit.elements:
+            if isinstance(e, (Resistor, Memristor)):
+                self._stamp_conductance(
+                    matrix, self._idx(e.n1), self._idx(e.n2), 1.0 / e.resistance
+                )
+            elif isinstance(e, Capacitor):
+                self._stamp_conductance(
+                    matrix, self._idx(e.n1), self._idx(e.n2), 1j * omega * e.capacitance
+                )
+            elif isinstance(e, CurrentSource):
+                self._stamp_current(rhs, self._idx(e.n1), self._idx(e.n2), e.ac)
+            elif isinstance(e, Vccs):
+                self._stamp_vccs(
+                    matrix, self._idx(e.n1), self._idx(e.n2),
+                    self._idx(e.cp), self._idx(e.cn), e.gm,
+                )
+        for k, src in enumerate(self._vsources):
+            row = self._vsource_row(k)
+            for node, sign in ((src.n1, 1.0), (src.n2, -1.0)):
+                idx = self._idx(node)
+                if idx is not None:
+                    matrix[idx, row] += sign
+                    matrix[row, idx] += sign
+            rhs[row] = src.ac
+        for k, ind in enumerate(self._inductors):
+            row = self._inductor_row(k)
+            for node, sign in ((ind.n1, 1.0), (ind.n2, -1.0)):
+                idx = self._idx(node)
+                if idx is not None:
+                    matrix[idx, row] += sign
+                    matrix[row, idx] += sign
+            matrix[row, row] -= 1j * omega * ind.inductance
+        for mos in mosfets:
+            __, gm, gds = mos.small_signal(op.v(mos.g), op.v(mos.d), op.v(mos.s))
+            self._stamp_conductance(matrix, self._idx(mos.d), self._idx(mos.s), gds)
+            self._stamp_vccs(
+                matrix, self._idx(mos.d), self._idx(mos.s),
+                self._idx(mos.g), self._idx(mos.s), gm,
+            )
+        return matrix, rhs

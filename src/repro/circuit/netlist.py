@@ -1,0 +1,251 @@
+"""Netlist data model for the lightweight analog circuit engine.
+
+A :class:`Circuit` is a bag of two-terminal and controlled elements
+connected between named nodes (ground is the node ``"0"``).  The engine
+(:mod:`repro.circuit.mna`) performs DC operating-point analysis (with
+Newton iteration for MOS devices) and small-signal AC analysis.
+
+This substrate replaces the commercial SPICE flow of the paper for the
+element-level pieces of the reproduction: the LC tank cross-validation
+and the bias-circuit locking baselines ([7] parallel-transistor
+obfuscation, [8] current-mirror locking, [6] memristor crossbars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor between ``n1`` and ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(f"{self.name}: resistance must be positive")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor; open at DC, admittance jwC at AC."""
+
+    name: str
+    n1: str
+    n2: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError(f"{self.name}: capacitance must be positive")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Linear inductor; short at DC (branch current unknown), jwL at AC."""
+
+    name: str
+    n1: str
+    n2: str
+    inductance: float
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0.0:
+            raise ValueError(f"{self.name}: inductance must be positive")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source (DC value plus AC magnitude)."""
+
+    name: str
+    n1: str
+    n2: str
+    dc: float = 0.0
+    ac: float = 0.0
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source flowing from ``n1`` to ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    dc: float = 0.0
+    ac: float = 0.0
+
+
+@dataclass(frozen=True)
+class Vccs:
+    """Voltage-controlled current source (transconductor).
+
+    Current ``gm * (v(cp) - v(cn))`` flows from ``n1`` to ``n2``.  A
+    negative ``gm`` realises the -Gm Q-enhancement cell of the tank.
+    """
+
+    name: str
+    n1: str
+    n2: str
+    cp: str
+    cn: str
+    gm: float
+
+
+@dataclass(frozen=True)
+class Memristor:
+    """Behavioural memristor pinned at a programmed resistance state.
+
+    The crossbar locking baseline [6] programs each device to either its
+    low (``r_on``) or high (``r_off``) state; ``state`` in [0, 1]
+    interpolates conductance linearly, as in linear dopant-drift models.
+    """
+
+    name: str
+    n1: str
+    n2: str
+    r_on: float = 1e3
+    r_off: float = 1e6
+    state: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.state <= 1.0:
+            raise ValueError(f"{self.name}: state must be in [0, 1]")
+        if not 0.0 < self.r_on < self.r_off:
+            raise ValueError(f"{self.name}: need 0 < r_on < r_off")
+
+    @property
+    def resistance(self) -> float:
+        """Programmed resistance: conductance-linear mix of on/off states."""
+        g = self.state / self.r_on + (1.0 - self.state) / self.r_off
+        return 1.0 / g
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """Square-law (level-1) MOSFET.
+
+    Attributes:
+        name: Element name.
+        d, g, s: Drain, gate and source nodes (bulk tied to source).
+        kp: Transconductance factor k' * W / L in A/V^2.
+        vth: Threshold voltage (positive for both polarities).
+        lam: Channel-length modulation coefficient, 1/V.
+        polarity: ``"nmos"`` or ``"pmos"``.
+    """
+
+    name: str
+    d: str
+    g: str
+    s: str
+    kp: float
+    vth: float = 0.5
+    lam: float = 0.02
+    polarity: str = "nmos"
+
+    def __post_init__(self) -> None:
+        if self.kp <= 0.0:
+            raise ValueError(f"{self.name}: kp must be positive")
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"{self.name}: polarity must be nmos or pmos")
+
+    def drain_current(self, vg: float, vd: float, vs: float) -> float:
+        """Large-signal drain current for terminal voltages."""
+        sign = 1.0 if self.polarity == "nmos" else -1.0
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        vov = vgs - self.vth
+        if vov <= 0.0:
+            return 0.0
+        if vds >= vov:
+            ids = 0.5 * self.kp * vov**2 * (1.0 + self.lam * vds)
+        else:
+            ids = self.kp * (vov * vds - 0.5 * vds**2) * (1.0 + self.lam * vds)
+        return sign * ids
+
+    def small_signal(self, vg: float, vd: float, vs: float) -> tuple[float, float, float]:
+        """Return ``(id, gm, gds)`` at the given operating point.
+
+        ``id`` flows into the drain for NMOS (out for PMOS); ``gm`` and
+        ``gds`` are the partial derivatives w.r.t. vgs and vds in the
+        device's own polarity frame (always non-negative).
+        """
+        sign = 1.0 if self.polarity == "nmos" else -1.0
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        vov = vgs - self.vth
+        if vov <= 0.0:
+            return 0.0, 0.0, 1e-12
+        if vds >= vov:
+            ids = 0.5 * self.kp * vov**2 * (1.0 + self.lam * vds)
+            gm = self.kp * vov * (1.0 + self.lam * vds)
+            gds = 0.5 * self.kp * vov**2 * self.lam
+        else:
+            ids = self.kp * (vov * vds - 0.5 * vds**2) * (1.0 + self.lam * vds)
+            gm = self.kp * vds * (1.0 + self.lam * vds)
+            gds = self.kp * (vov - vds) * (1.0 + self.lam * vds) + self.kp * (
+                vov * vds - 0.5 * vds**2
+            ) * self.lam
+        return sign * ids, gm, max(gds, 1e-12)
+
+
+Element = (
+    Resistor
+    | Capacitor
+    | Inductor
+    | VoltageSource
+    | CurrentSource
+    | Vccs
+    | Memristor
+    | Mosfet
+)
+
+
+@dataclass
+class Circuit:
+    """A named collection of elements over string-labelled nodes."""
+
+    title: str = "untitled"
+    elements: list[Element] = field(default_factory=list)
+
+    def add(self, element: Element) -> Element:
+        """Add ``element``, rejecting duplicate names."""
+        if any(e.name == element.name for e in self.elements):
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self.elements.append(element)
+        return element
+
+    def nodes(self) -> list[str]:
+        """All non-ground nodes, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self.elements:
+            for attr in ("n1", "n2", "d", "g", "s", "cp", "cn"):
+                node = getattr(e, attr, None)
+                if node is not None and node != GROUND:
+                    seen.setdefault(node, None)
+        return list(seen)
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        for e in self.elements:
+            if e.name == name:
+                return e
+        raise KeyError(f"no element named {name!r}")
+
+    def replace(self, name: str, new_element: Element) -> None:
+        """Swap the element called ``name`` for ``new_element``.
+
+        Used by the removal-attack model: the attacker cuts out a locked
+        bias element and drops in a "fresh" unlocked replacement.
+        """
+        for i, e in enumerate(self.elements):
+            if e.name == name:
+                self.elements[i] = new_element
+                return
+        raise KeyError(f"no element named {name!r}")

@@ -1,0 +1,78 @@
+"""Signal processing and measurement substrate.
+
+Everything the evaluation measures — SNR, SFDR, PSD, dynamic range — is
+computed by this package, which also provides the receiver's digital
+decimation filters.
+"""
+
+from repro.dsp.decimate import CicDecimator, DecimationChain, FirDecimator, fs4_mixer_sequences
+from repro.dsp.filters import design_cic_compensator, design_halfband, design_lowpass, freq_response
+from repro.dsp.metrics import (
+    SNR_FLOOR_DB,
+    SfdrMeasurement,
+    ToneMeasurement,
+    band_snr,
+    enob,
+    snr_from_samples,
+    thd,
+    two_tone_sfdr,
+)
+from repro.dsp.spectrum import Spectrum, periodogram, welch_psd
+from repro.dsp.tones import coherent_frequency, sample_times, sine, two_tone
+from repro.dsp.units import (
+    K_BOLTZMANN,
+    R_REF,
+    T_REF,
+    db,
+    db_amplitude,
+    dbm_to_vamp,
+    dbm_to_vrms,
+    dbm_to_watt,
+    thermal_noise_power,
+    undb,
+    undb_amplitude,
+    vamp_to_dbm,
+    watt_to_dbm,
+)
+from repro.dsp.windows import WindowInfo, make_window
+
+__all__ = [
+    "CicDecimator",
+    "DecimationChain",
+    "FirDecimator",
+    "K_BOLTZMANN",
+    "R_REF",
+    "SNR_FLOOR_DB",
+    "SfdrMeasurement",
+    "Spectrum",
+    "T_REF",
+    "ToneMeasurement",
+    "WindowInfo",
+    "band_snr",
+    "coherent_frequency",
+    "db",
+    "db_amplitude",
+    "dbm_to_vamp",
+    "dbm_to_vrms",
+    "dbm_to_watt",
+    "design_cic_compensator",
+    "design_halfband",
+    "design_lowpass",
+    "enob",
+    "freq_response",
+    "fs4_mixer_sequences",
+    "make_window",
+    "periodogram",
+    "sample_times",
+    "sine",
+    "snr_from_samples",
+    "thd",
+    "thermal_noise_power",
+    "two_tone",
+    "two_tone_sfdr",
+    "undb",
+    "undb_amplitude",
+    "vamp_to_dbm",
+    "watt_to_dbm",
+    "welch_psd",
+]

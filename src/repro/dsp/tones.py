@@ -1,0 +1,53 @@
+"""Test-tone generation with coherent-sampling helpers.
+
+SNR/SFDR measurements on short FFTs are only clean when the stimulus is
+coherent with the record length (an integer number of cycles per FFT).
+The paper uses 8192-point FFTs; these helpers snap requested frequencies
+onto FFT bin centres, preferring odd bin counts so that the tone exercises
+different phases in every sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coherent_frequency(f_target: float, fs: float, n: int, prefer_odd: bool = True) -> float:
+    """Nearest coherent frequency to ``f_target`` for an ``n``-point record.
+
+    Returns ``k * fs / n`` with integer ``k``; when ``prefer_odd`` the bin
+    count ``k`` is made odd (standard ADC-test practice) so the sampled
+    phase pattern never repeats within the record.
+    """
+    if not 0.0 < f_target < fs / 2.0:
+        raise ValueError(f"f_target must be in (0, fs/2), got {f_target}")
+    k = int(round(f_target * n / fs))
+    k = max(k, 1)
+    if prefer_odd and k % 2 == 0:
+        k += 1 if (f_target * n / fs) >= k else -1
+        k = max(k, 1)
+    return k * fs / n
+
+
+def sine(n: int, fs: float, freq: float, amplitude: float, phase: float = 0.0) -> np.ndarray:
+    """``n`` samples of ``amplitude * cos(2 pi freq t + phase)`` at rate ``fs``."""
+    t = np.arange(n) / fs
+    return amplitude * np.cos(2.0 * np.pi * freq * t + phase)
+
+
+def two_tone(
+    n: int,
+    fs: float,
+    f1: float,
+    f2: float,
+    amplitude: float,
+    phase1: float = 0.0,
+    phase2: float = 0.0,
+) -> np.ndarray:
+    """Equal-amplitude two-tone stimulus (paper Fig. 12 SFDR test)."""
+    return sine(n, fs, f1, amplitude, phase1) + sine(n, fs, f2, amplitude, phase2)
+
+
+def sample_times(n: int, fs: float) -> np.ndarray:
+    """Time axis for ``n`` samples at rate ``fs``."""
+    return np.arange(n) / fs

@@ -1,0 +1,80 @@
+"""Unit conversions used throughout the RF receiver model.
+
+The paper quotes stimulus levels in dBm into the canonical RF reference
+impedance of 50 ohm.  All internal signal processing uses volts, so these
+helpers convert between power-referred (dBm, watt) and voltage-referred
+(V amplitude, V rms) quantities.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Canonical RF reference impedance, ohms.
+R_REF = 50.0
+
+#: Boltzmann constant, J/K.
+K_BOLTZMANN = 1.380649e-23
+
+#: Standard noise-figure reference temperature, kelvin.
+T_REF = 290.0
+
+
+def dbm_to_watt(dbm: float) -> float:
+    """Convert a power in dBm to watts."""
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watt_to_dbm(watt: float) -> float:
+    """Convert a power in watts to dBm."""
+    if watt <= 0.0:
+        raise ValueError(f"power must be positive, got {watt}")
+    return 10.0 * math.log10(watt / 1e-3)
+
+
+def dbm_to_vrms(dbm: float, impedance: float = R_REF) -> float:
+    """RMS voltage of a sinusoid carrying ``dbm`` into ``impedance``."""
+    return math.sqrt(dbm_to_watt(dbm) * impedance)
+
+
+def dbm_to_vamp(dbm: float, impedance: float = R_REF) -> float:
+    """Peak amplitude of a sinusoid carrying ``dbm`` into ``impedance``."""
+    return dbm_to_vrms(dbm, impedance) * math.sqrt(2.0)
+
+
+def vamp_to_dbm(vamp: float, impedance: float = R_REF) -> float:
+    """Power in dBm of a sinusoid with peak amplitude ``vamp``."""
+    if vamp <= 0.0:
+        raise ValueError(f"amplitude must be positive, got {vamp}")
+    return watt_to_dbm(vamp**2 / (2.0 * impedance))
+
+
+def db(ratio: float) -> float:
+    """Power ratio expressed in decibels."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_amplitude(ratio: float) -> float:
+    """Amplitude ratio expressed in decibels (20 log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def undb(decibels: float) -> float:
+    """Inverse of :func:`db`: decibels back to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def undb_amplitude(decibels: float) -> float:
+    """Inverse of :func:`db_amplitude`: decibels back to an amplitude ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def thermal_noise_power(bandwidth_hz: float, temperature_k: float = T_REF) -> float:
+    """Available thermal noise power kTB in watts over ``bandwidth_hz``."""
+    if bandwidth_hz < 0.0:
+        raise ValueError(f"bandwidth must be non-negative, got {bandwidth_hz}")
+    return K_BOLTZMANN * temperature_k * bandwidth_hz

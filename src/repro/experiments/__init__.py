@@ -1,0 +1,37 @@
+"""Experiment drivers regenerating every figure/analysis of the paper.
+
+One module per artefact:
+
+== ========================================== ==============================
+id paper artefact                              module
+== ========================================== ==============================
+fig7        SNR at modulator out, 100 keys     fig07_invalid_keys
+fig8        transient bitstream vs analog      fig08_transient
+fig9        SNR at receiver out, same keys     fig09_receiver_snr
+fig10       PSD, noise shaping vs none         fig10_psd
+fig11       SNR vs input power, 3 segments     fig11_dynamic_range
+fig12       two-tone SFDR                      fig12_sfdr
+tab-attack  Sec. VI-B.1 cost accounting        table_attack_cost
+tab-ovr     Secs. II/IV-A scheme comparison    table_baselines
+tab-keys    Sec. VI-B key-space structure      table_keyspace
+sweep-std   other centre frequencies           sweep_standards
+sat-na      Sec. IV-B.1 SAT applicability      security_sat
+opt-attack  Sec. IV-B.3 optimisation attacks   security_optimization
+== ========================================== ==============================
+"""
+
+from repro.experiments.common import (
+    EXPERIMENT_LOT_SEED,
+    ExperimentResult,
+    calibrated,
+    chip_by_id,
+    hero_chip,
+)
+
+__all__ = [
+    "EXPERIMENT_LOT_SEED",
+    "ExperimentResult",
+    "calibrated",
+    "chip_by_id",
+    "hero_chip",
+]

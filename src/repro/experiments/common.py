@@ -1,0 +1,84 @@
+"""Shared scaffolding for the per-figure experiment drivers.
+
+Every experiment produces an :class:`ExperimentResult` — named columns,
+rows of plain numbers/strings, and a free-form notes block — so the
+benchmark harness and EXPERIMENTS.md generation share one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calibration.procedure import CalibrationResult, Calibrator
+from repro.process.variations import ChipFactory
+from repro.receiver.receiver import Chip
+from repro.receiver.standards import STANDARDS, Standard
+
+#: Lot seed shared by every experiment, so they all see the same silicon.
+EXPERIMENT_LOT_SEED = 2020
+
+#: The chip the headline experiments run on (the paper's single device).
+HERO_CHIP_ID = 0
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container.
+
+    Attributes:
+        experiment_id: Table/figure tag (e.g. ``fig7``).
+        title: What the experiment reproduces.
+        columns: Column headers.
+        rows: Data rows (same arity as ``columns``).
+        notes: Free-form remarks (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render an aligned plain-text table."""
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [
+                f"{v:.2f}" if isinstance(v, float) else str(v) for v in row
+            ]
+            rendered_rows.append(rendered)
+            for i, cell in enumerate(rendered):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for rendered in rendered_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+
+_CALIBRATION_CACHE: dict[tuple[int, int], CalibrationResult] = {}
+
+
+def hero_chip() -> Chip:
+    """The experiment chip (die 0 of the reference lot)."""
+    return Chip(variations=ChipFactory(lot_seed=EXPERIMENT_LOT_SEED).draw(HERO_CHIP_ID))
+
+
+def chip_by_id(chip_id: int) -> Chip:
+    """Any die of the reference lot."""
+    return Chip(variations=ChipFactory(lot_seed=EXPERIMENT_LOT_SEED).draw(chip_id))
+
+
+def calibrated(chip: Chip, standard: Standard | None = None) -> CalibrationResult:
+    """Calibration result for a lot chip, cached across experiments."""
+    standard = standard or STANDARDS[0]
+    cache_key = (chip.variations.chip_id, standard.index)
+    if cache_key not in _CALIBRATION_CACHE:
+        _CALIBRATION_CACHE[cache_key] = Calibrator().calibrate(chip, standard)
+    return _CALIBRATION_CACHE[cache_key]

@@ -1,0 +1,74 @@
+"""Fig. 8 — transient modulator output: correct key vs deceptive key.
+
+Paper shape: the correct key yields an oversampled +/-1 bitstream; the
+deceptive key (loop open, comparator as buffer) yields an analog
+waveform with no analog-to-digital conversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, calibrated, hero_chip
+from repro.experiments.fig07_invalid_keys import run as run_fig7
+from repro.receiver.performance import DEFAULT_POWER_DBM, stimulus_frequency
+from repro.receiver.standards import STANDARDS
+from repro.receiver.stimulus import ToneStimulus
+
+
+def deceptive_key_from_population(n_keys: int = 100, seed: int = 7):
+    """The best invalid key of the Fig. 7 population (its 'index 7')."""
+    from repro.locking.metrics import key_population_study
+
+    chip = hero_chip()
+    standard = STANDARDS[0]
+    correct = calibrated(chip, standard).config
+    study = key_population_study(
+        chip,
+        correct,
+        standard,
+        n_keys=n_keys,
+        rng=np.random.default_rng(seed),
+        n_fft=2048,
+    )
+    return study.deceptive_key
+
+
+def run(n_samples: int = 512, seed: int = 7) -> ExperimentResult:
+    """Regenerate the Fig. 8 waveforms (summarised as statistics)."""
+    chip = hero_chip()
+    standard = STANDARDS[0]
+    correct = calibrated(chip, standard).config
+    deceptive = deceptive_key_from_population(seed=seed)
+
+    f_sig = stimulus_frequency(standard, chip.design.osr, 8192)
+    stim = ToneStimulus.single(f_sig, DEFAULT_POWER_DBM)
+    res_ok = chip.simulate_modulator(correct, stim, standard.fs, n_samples=n_samples)
+    res_bad = chip.simulate_modulator(deceptive, stim, standard.fs, n_samples=n_samples)
+
+    def describe(res, label):
+        levels = np.unique(np.round(res.output, 6)).size
+        return (
+            label,
+            "bitstream" if res.is_bitstream else "analog",
+            levels,
+            round(float(np.max(np.abs(res.output))), 3),
+            round(float(np.std(res.output)), 3),
+        )
+
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Transient modulator output: correct vs deceptive key",
+        columns=["key", "output_type", "distinct_levels", "peak_v", "rms_v"],
+    )
+    result.rows.append(describe(res_ok, "correct"))
+    result.rows.append(describe(res_bad, "deceptive"))
+    result.notes.append(
+        "paper: correct output is an oversampled bitstream, deceptive "
+        "output is an analog waveform with no A/D conversion"
+    )
+    result.notes.append(
+        f"correct key has {int(np.unique(res_ok.output).size)} output levels "
+        f"(two rails); deceptive key output is continuous-valued"
+    )
+    return result

@@ -1,0 +1,71 @@
+"""Run every experiment and render the full report.
+
+``python -m repro.experiments.runner`` regenerates all paper artefacts
+(quick mode by default; ``--full`` uses paper-size parameters).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig07_invalid_keys,
+    fig08_transient,
+    fig09_receiver_snr,
+    fig10_psd,
+    fig11_dynamic_range,
+    fig12_sfdr,
+    security_optimization,
+    security_sat,
+    sweep_standards,
+    table_attack_cost,
+    table_baselines,
+    table_keyspace,
+)
+
+#: (module, quick-mode kwargs, full-mode kwargs)
+EXPERIMENTS = (
+    (fig07_invalid_keys, {"n_keys": 30, "n_fft": 2048}, {"n_keys": 100, "n_fft": 8192}),
+    (fig08_transient, {"n_samples": 256}, {"n_samples": 512}),
+    (fig09_receiver_snr, {"n_keys": 20, "n_baseband": 256}, {"n_keys": 100, "n_baseband": 512}),
+    (fig10_psd, {"n_fft": 4096}, {"n_fft": 8192}),
+    (fig11_dynamic_range, {"power_step_dbm": 10.0, "n_fft": 2048}, {"power_step_dbm": 5.0, "n_fft": 4096}),
+    (fig12_sfdr, {"n_fft": 4096}, {"n_fft": 8192}),
+    (table_attack_cost, {"n_keys": 30, "n_fft": 2048}, {"n_keys": 100, "n_fft": 2048}),
+    (table_keyspace, {"trials_per_distance": 4}, {"trials_per_distance": 8}),
+    (table_baselines, {"n_random_keys": 8}, {"n_random_keys": 16}),
+    (sweep_standards, {"standard_indices": (0, 7), "n_keys": 10}, {"standard_indices": (0, 2, 5, 7), "n_keys": 20}),
+    (security_sat, {"n_key_bits": 6}, {"n_key_bits": 8}),
+    (security_optimization, {"budget": 60}, {"budget": 150}),
+)
+
+
+def run_all(full: bool = False, stream=None) -> list:
+    """Run every experiment; returns the result list."""
+    stream = stream or sys.stdout
+    results = []
+    for module, quick_kwargs, full_kwargs in EXPERIMENTS:
+        kwargs = full_kwargs if full else quick_kwargs
+        start = time.time()
+        result = module.run(**kwargs)
+        elapsed = time.time() - start
+        results.append(result)
+        print(result.format_table(), file=stream)
+        print(f"# completed in {elapsed:.1f} s\n", file=stream)
+    return results
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-size parameters (slower)"
+    )
+    args = parser.parse_args()
+    run_all(full=args.full)
+
+
+if __name__ == "__main__":
+    main()

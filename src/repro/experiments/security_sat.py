@@ -1,0 +1,51 @@
+"""Sec. IV-B.1 — SAT attack: breaks digital baselines, no formulation
+against the fabric lock.
+
+Runs the oracle-guided SAT attack on the MixLock'd decimation controller
+and the locked calibration optimiser, then demonstrates that the attack
+cannot even be *formulated* against the proposed scheme.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.sat_attack import SatAttackNotApplicable, assert_sat_attack_applicable
+from repro.baselines import CalibrationLoopLock, MixLock
+from repro.experiments.common import ExperimentResult, calibrated, hero_chip
+from repro.locking.scheme import ProgrammabilityLock
+from repro.receiver.standards import STANDARDS
+
+
+def run(n_key_bits: int = 8) -> ExperimentResult:
+    """Build the SAT-attack comparison."""
+    result = ExperimentResult(
+        experiment_id="sat-na",
+        title="SAT attack: digital baselines vs the fabric lock",
+        columns=["target", "outcome", "oracle_queries", "iterations"],
+    )
+    for scheme in (MixLock(n_key_bits=n_key_bits), CalibrationLoopLock(n_key_bits=n_key_bits)):
+        sat = scheme.run_sat_attack()
+        recovered_ok = scheme.unlocks(sat.key)
+        result.rows.append(
+            (
+                f"{scheme.profile.reference} {scheme.profile.name}",
+                "key recovered" if recovered_ok else "wrong key",
+                sat.n_oracle_queries,
+                sat.n_iterations,
+            )
+        )
+    chip = hero_chip()
+    standard = STANDARDS[0]
+    lock = ProgrammabilityLock(chip=chip)
+    lock._lut[standard.index] = calibrated(chip, standard)
+    try:
+        assert_sat_attack_applicable(lock)
+        outcome = "UNEXPECTEDLY applicable"
+    except SatAttackNotApplicable:
+        outcome = "not applicable (no Boolean oracle)"
+    result.rows.append(("this work: programmability-fabric lock", outcome, 0, 0))
+    result.notes.append(
+        "paper: 'Known attacks in digital domain, such as the lethal SAT "
+        "attack, are not applicable' — while the same attack dismantles "
+        "the logic-locked baselines within a handful of queries"
+    )
+    return result

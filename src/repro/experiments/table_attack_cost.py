@@ -1,0 +1,86 @@
+"""Sec. VI-B.1 — the attack-cost table.
+
+Combines the paper's per-measurement simulation times (20 min per SNR
+point, 3 h per dynamic-range sweep, 30 min per SFDR), an optimistic
+hardware-bench cost after re-fabbing, the 2^64 key space and the
+empirical unlocking-key density into brute-force time estimates —
+contrasted with the legitimate calibration's measurement count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.cost import AttackCostModel, format_years
+from repro.experiments.common import ExperimentResult, calibrated, hero_chip
+from repro.locking.metrics import (
+    key_population_study,
+    key_space_analysis,
+    structural_unlocking_bound,
+)
+from repro.locking.specs import PerformanceSpec
+from repro.receiver.standards import STANDARDS
+
+
+def run(n_keys: int = 100, n_fft: int = 2048, seed: int = 7) -> ExperimentResult:
+    """Build the attack-cost table."""
+    chip = hero_chip()
+    standard = STANDARDS[0]
+    calibration = calibrated(chip, standard)
+    correct = calibration.config
+    spec = PerformanceSpec.for_standard(standard)
+    study = key_population_study(
+        chip,
+        correct,
+        standard,
+        n_keys=n_keys,
+        rng=np.random.default_rng(seed),
+        n_fft=n_fft,
+    )
+    analysis = key_space_analysis(study, spec.snr_min_db)
+    structural = structural_unlocking_bound(chip, correct)
+    expected = 1.0 / structural
+
+    sim = AttackCostModel.simulation()
+    hw = AttackCostModel.hardware()
+    result = ExperimentResult(
+        experiment_id="tab-attack",
+        title="Brute-force / measurement cost accounting (Sec. VI-B.1)",
+        columns=["quantity", "value"],
+    )
+    result.rows.extend(
+        [
+            ("key space", f"2^64 = {analysis.total_keys:.3e}"),
+            (
+                "unlocking keys seen in random sample",
+                f"{analysis.unlocking_fraction_estimate * study.invalid_snrs_db.size:.0f}"
+                f" of {study.invalid_snrs_db.size}",
+            ),
+            (
+                "unlocking fraction (structural upper bound)",
+                f"<= {structural:.2e}",
+            ),
+            ("expected trials to unlock", f">= {expected:.2e}"),
+            ("sim time per SNR point", f"{sim.snr_seconds/60:.0f} min (paper: 20 min)"),
+            ("sim time per DR sweep", f"{sim.dr_sweep_seconds/3600:.0f} h (paper: 3 h)"),
+            ("sim time per SFDR", f"{sim.sfdr_seconds/60:.0f} min (paper: 30 min)"),
+            (
+                "brute force by simulation",
+                format_years(expected * sim.snr_seconds / (365.25 * 86400)),
+            ),
+            (
+                "brute force on re-fabbed hardware (1 s/point)",
+                format_years(expected * hw.snr_seconds / (365.25 * 86400)),
+            ),
+            (
+                "legitimate calibration (guided)",
+                f"{calibration.n_measurements} measurements",
+            ),
+        ]
+    )
+    result.notes.append(
+        "the guided calibration needs ~10^2 measurements; an uninformed "
+        "search needs orders of magnitude more — the gap *is* the "
+        "security margin, and it grows linearly with per-trial cost"
+    )
+    return result

@@ -1,0 +1,95 @@
+"""Secs. II / IV-A — comparison against prior locking schemes [6]-[11].
+
+Computes, per scheme: whether the correct key unlocks its testbench,
+lock effectiveness against random keys, overheads, and the removal- and
+SAT-attack adjudications.  The proposed scheme appears as the last row
+with zero overhead and no removal/SAT surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.removal import removal_attack
+from repro.attacks.sat_attack import SatAttackNotApplicable, assert_sat_attack_applicable
+from repro.baselines import (
+    BiasObfuscationLock,
+    CalibrationLoopLock,
+    CurrentMirrorLock,
+    MemristorBiasLock,
+    MixLock,
+    NeuralBiasLock,
+    ProposedFabricLock,
+)
+from repro.experiments.common import ExperimentResult, calibrated, hero_chip
+from repro.locking.scheme import ProgrammabilityLock
+from repro.receiver.standards import STANDARDS
+
+
+def build_schemes(n_random_keys: int = 16, seed: int = 3):
+    """All six baselines plus the provisioned proposed scheme."""
+    chip = hero_chip()
+    standard = STANDARDS[0]
+    lock = ProgrammabilityLock(chip=chip)
+    lock._lut[standard.index] = calibrated(chip, standard)
+    schemes = [
+        MemristorBiasLock(),
+        BiasObfuscationLock(),
+        CurrentMirrorLock(),
+        MixLock(),
+        CalibrationLoopLock(),
+        NeuralBiasLock(),
+        ProposedFabricLock(lock=lock, standard=standard),
+    ]
+    return schemes
+
+
+def run(n_random_keys: int = 16, seed: int = 3) -> ExperimentResult:
+    """Build the comparison table."""
+    rng = np.random.default_rng(seed)
+    schemes = build_schemes(n_random_keys, seed)
+    result = ExperimentResult(
+        experiment_id="tab-overhead",
+        title="Comparison vs prior analog locking schemes (Fig. 1 set)",
+        columns=[
+            "ref",
+            "key_bits",
+            "added_hw",
+            "area_pct",
+            "power_pct",
+            "lock_eff",
+            "removal",
+            "sat_attack",
+        ],
+    )
+    for scheme in schemes:
+        profile = scheme.profile
+        effectiveness = scheme.lock_effectiveness(n_random_keys, rng)
+        removal = removal_attack(scheme)
+        if removal.applicable:
+            removal_cell = "succeeds" if removal.succeeds else "resisted"
+        else:
+            removal_cell = "n/a (no added hw)"
+        try:
+            target = scheme.locked if hasattr(scheme, "locked") else scheme
+            assert_sat_attack_applicable(target)
+            sat_cell = "applicable"
+        except SatAttackNotApplicable:
+            sat_cell = "no Boolean oracle"
+        result.rows.append(
+            (
+                profile.reference,
+                profile.key_bits,
+                "yes" if profile.added_circuitry else "no",
+                profile.area_overhead_pct,
+                profile.power_overhead_pct,
+                round(effectiveness, 2),
+                removal_cell,
+                sat_cell,
+            )
+        )
+    result.notes.append(
+        "paper Sec. IV-A: the proposed approach leaves the design intact "
+        "— zero area/power overhead, no redesign, no removal surface"
+    )
+    return result

@@ -1,0 +1,36 @@
+"""Key-management schemes of paper Fig. 3 (tamper memory, PUF, remote)."""
+
+from repro.keymgmt.crypto import (
+    RsaKeypair,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+)
+from repro.keymgmt.provisioning import (
+    BASE_CHALLENGE,
+    PufXorScheme,
+    RemoteActivator,
+    TamperMemoryScheme,
+)
+from repro.keymgmt.puf import ArbiterPuf, inter_chip_uniqueness, intra_chip_stability
+from repro.keymgmt.tamper import TamperError, TamperProofMemory
+
+__all__ = [
+    "ArbiterPuf",
+    "BASE_CHALLENGE",
+    "PufXorScheme",
+    "RemoteActivator",
+    "RsaKeypair",
+    "TamperError",
+    "TamperMemoryScheme",
+    "TamperProofMemory",
+    "decrypt",
+    "encrypt",
+    "generate_keypair",
+    "generate_prime",
+    "inter_chip_uniqueness",
+    "intra_chip_stability",
+    "is_probable_prime",
+]

@@ -1,0 +1,113 @@
+"""Toy RSA for the remote-activation protocol (paper Sec. IV-B, ref [15]).
+
+The paper adapts "the concept of remotely activating the chips using
+asymmetric cryptography" for high-volume products tested at untrusted
+facilities.  This module supplies a self-contained textbook RSA
+(Miller-Rabin primes, square-and-multiply modexp) sized for the
+*protocol demonstration only* — 256-bit moduli are NOT cryptographically
+secure and the implementation is deliberately simple.  The deliverable
+is the key-exchange data flow, not the cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def is_probable_prime(n: int, rng: np.random.Generator, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        # Build an arbitrary-precision witness from 32-bit draws (numpy
+        # cannot sample beyond int64 bounds directly).
+        raw = 0
+        for _ in range(0, n.bit_length() + 32, 32):
+            raw = (raw << 32) | int(rng.integers(0, 1 << 32))
+        a = 2 + raw % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: np.random.Generator) -> int:
+    """Random prime with the top bit set."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = 0
+        for _ in range(0, bits, 32):
+            candidate = (candidate << 32) | int(rng.integers(0, 1 << 32))
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKeypair:
+    """RSA keypair: (n, e) public, d private."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> tuple[int, int]:
+        """The shareable public key (n, e)."""
+        return self.n, self.e
+
+
+def generate_keypair(bits: int = 256, seed: int | None = None) -> RsaKeypair:
+    """Generate a toy RSA keypair with a ``bits``-bit modulus."""
+    rng = np.random.default_rng(seed)
+    e = 65537
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return RsaKeypair(n=p * q, e=e, d=d)
+
+
+def encrypt(message: int, public: tuple[int, int]) -> int:
+    """Raw RSA encryption of an integer message (< n)."""
+    n, e = public
+    if not 0 <= message < n:
+        raise ValueError("message must be a non-negative integer below the modulus")
+    return pow(message, e, n)
+
+
+def decrypt(ciphertext: int, keypair: RsaKeypair) -> int:
+    """Raw RSA decryption."""
+    if not 0 <= ciphertext < keypair.n:
+        raise ValueError("ciphertext out of range")
+    return pow(ciphertext, keypair.d, keypair.n)

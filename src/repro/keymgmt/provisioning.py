@@ -1,0 +1,143 @@
+"""Key-provisioning schemes (paper Fig. 3 and Sec. IV-B).
+
+Three flows are modelled:
+
+* :class:`TamperMemoryScheme` — Fig. 3(a): the configuration LUT lives
+  in tamper-proof memory, programmed in the trusted domain.
+* :class:`PufXorScheme` — Fig. 3(b): the chip's PUF produces one secret
+  identification key per configuration setting; the user receives
+  user-keys such that ``user_key XOR id_key = configuration``.  Because
+  the user keys are loaded at every power-on, a recycled chip without
+  its user-key set is dead — the recycling countermeasure of Sec. IV-C.
+* :class:`RemoteActivator` — the asymmetric-crypto flow for untrusted,
+  high-volume test facilities: configurations travel encrypted under
+  the chip's public key and only decrypt inside the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.keymgmt import crypto
+from repro.keymgmt.puf import ArbiterPuf
+from repro.keymgmt.tamper import TamperProofMemory
+from repro.receiver.config import KEY_BITS, ConfigWord
+
+#: Fixed, public base challenge used to derive per-mode id keys.
+BASE_CHALLENGE = 0x5EED_CAFE
+
+
+@dataclass
+class TamperMemoryScheme:
+    """Fig. 3(a): configurations stored directly in tamper-proof memory."""
+
+    chip_id: int
+    memory: TamperProofMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.memory = TamperProofMemory(chip_id=self.chip_id)
+
+    def provision(self, configs: dict[int, ConfigWord]) -> None:
+        """Trusted-domain programming of the LUT."""
+        for index, config in configs.items():
+            self.memory.store(index, config)
+
+    def configuration_for_mode(self, standard_index: int) -> ConfigWord:
+        """Normal-operation dynamic load (paper: 'commands dynamically
+        the memories to load the corresponding programming bits')."""
+        return self.memory.load(standard_index)
+
+
+@dataclass
+class PufXorScheme:
+    """Fig. 3(b): PUF id-keys XORed with per-user keys.
+
+    The design house enrols the PUF (reads the id keys in the trusted
+    domain), then hands the *user* keys to the customer.  The chip never
+    stores the configuration: it recombines it at every power-on.
+    """
+
+    puf: ArbiterPuf
+    _user_keys: dict[int, int] = field(default_factory=dict, init=False)
+
+    def id_key_for_mode(self, standard_index: int) -> int:
+        """The chip-secret identification key for one mode."""
+        return self.puf.response_word(
+            BASE_CHALLENGE + standard_index, n_bits=KEY_BITS
+        )
+
+    def enroll(self, configs: dict[int, ConfigWord]) -> dict[int, int]:
+        """Design-house enrolment: derive the user keys.
+
+        Returns the user-key set to be given to the legitimate user.
+        """
+        user_keys = {}
+        for index, config in configs.items():
+            user_keys[index] = config.encode() ^ self.id_key_for_mode(index)
+        return user_keys
+
+    def power_on(self, user_keys: dict[int, int]) -> None:
+        """Load the user keys (required at *every* power-on)."""
+        self._user_keys = dict(user_keys)
+
+    def power_off(self) -> None:
+        """Power cycle: volatile user keys vanish."""
+        self._user_keys = {}
+
+    def configuration_for_mode(self, standard_index: int) -> ConfigWord:
+        """Recombine ``user_key XOR id_key`` into the configuration."""
+        if standard_index not in self._user_keys:
+            raise KeyError(
+                f"no user key loaded for mode {standard_index} "
+                "(recycled or unactivated chip)"
+            )
+        word = self._user_keys[standard_index] ^ self.id_key_for_mode(standard_index)
+        return ConfigWord.decode(word)
+
+
+@dataclass
+class RemoteActivator:
+    """Remote activation across an untrusted test facility (Sec. IV-B.4).
+
+    Flow: the chip derives an RSA keypair from a PUF-seeded RNG and
+    exports only the public key.  The (remote, trusted) design house
+    encrypts each configuration under that public key; the untrusted
+    facility relays opaque ciphertexts; the chip decrypts internally
+    into its tamper-proof memory.
+    """
+
+    chip_id: int
+    rsa_bits: int = 256
+    keypair: crypto.RsaKeypair = field(init=False)
+    memory: TamperProofMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        # The keypair seed would come from the PUF in silicon; the chip
+        # id stands in for that entropy here.
+        self.keypair = crypto.generate_keypair(self.rsa_bits, seed=self.chip_id + 1)
+        self.memory = TamperProofMemory(chip_id=self.chip_id)
+
+    @property
+    def public_key(self) -> tuple[int, int]:
+        """What the test facility may read out and forward."""
+        return self.keypair.public
+
+    @staticmethod
+    def design_house_encrypt(
+        configs: dict[int, ConfigWord], public_key: tuple[int, int]
+    ) -> dict[int, int]:
+        """Design-house side: encrypt each configuration word."""
+        return {
+            index: crypto.encrypt(config.encode(), public_key)
+            for index, config in configs.items()
+        }
+
+    def activate(self, ciphertexts: dict[int, int]) -> None:
+        """On-chip decryption straight into the key memory."""
+        for index, ciphertext in ciphertexts.items():
+            word = crypto.decrypt(ciphertext, self.keypair)
+            self.memory.store(index, ConfigWord.decode(word))
+
+    def configuration_for_mode(self, standard_index: int) -> ConfigWord:
+        """Normal-operation load after activation."""
+        return self.memory.load(standard_index)

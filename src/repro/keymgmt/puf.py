@@ -1,0 +1,128 @@
+"""Behavioural arbiter PUF (paper Fig. 3b, ref. [16]).
+
+The additive-delay arbiter model: a challenge of n bits configures n
+swap/pass stages; the sign of the accumulated differential delay decides
+the response bit.  Stage delays are a per-chip manufacturing fingerprint
+(seeded draw), and every evaluation adds a small noise term, so
+responses are unique per chip and mostly — not perfectly — stable,
+like real silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ArbiterPuf:
+    """Arbiter PUF bound to one chip.
+
+    Args:
+        chip_id: Die identity; determines the delay fingerprint.
+        n_stages: Challenge width (also the response granularity).
+        lot_seed: Manufacturing-lot seed.
+        noise_sigma: Evaluation noise relative to the stage-delay sigma
+            (sets the native bit-error rate).
+    """
+
+    chip_id: int
+    n_stages: int = 64
+    lot_seed: int = 77
+    noise_sigma: float = 0.03
+    _deltas: np.ndarray = field(init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        fingerprint = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.lot_seed, spawn_key=(self.chip_id, 0xB0F))
+        )
+        self._deltas = fingerprint.normal(0.0, 1.0, self.n_stages + 1)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.lot_seed, spawn_key=(self.chip_id, 0x4015E))
+        )
+
+    def _parity_features(self, challenge_bits: np.ndarray) -> np.ndarray:
+        """The standard arbiter parity transform of a challenge."""
+        # phi_i = product of (1 - 2*c_j) for j >= i, plus a constant 1.
+        signs = 1.0 - 2.0 * challenge_bits.astype(float)
+        features = np.ones(self.n_stages + 1)
+        features[:-1] = np.cumprod(signs[::-1])[::-1]
+        return features
+
+    def response_bit(self, challenge_bits: np.ndarray, noisy: bool = True) -> int:
+        """One evaluation of the PUF for an ``n_stages``-bit challenge."""
+        challenge_bits = np.asarray(challenge_bits)
+        if challenge_bits.size != self.n_stages:
+            raise ValueError(
+                f"challenge must have {self.n_stages} bits, got {challenge_bits.size}"
+            )
+        delay = float(np.dot(self._deltas, self._parity_features(challenge_bits)))
+        if noisy:
+            delay += float(self._rng.normal(0.0, self.noise_sigma * np.sqrt(self.n_stages)))
+        return 1 if delay >= 0.0 else 0
+
+    def response_bit_voted(self, challenge_bits: np.ndarray, votes: int = 7) -> int:
+        """Majority-voted response bit (the standard stabiliser)."""
+        total = sum(self.response_bit(challenge_bits) for _ in range(votes))
+        return 1 if total * 2 > votes else 0
+
+    def response_word(
+        self,
+        base_challenge: int,
+        n_bits: int = 64,
+        votes: int = 7,
+        stabilised: bool = True,
+    ) -> int:
+        """An ``n_bits`` identification key from derived challenges.
+
+        Challenge ``i`` is derived from ``base_challenge`` with a simple
+        counter-in-the-low-bits construction — the usual way one PUF
+        yields many response bits.
+
+        With ``stabilised`` (the default) the word models the output of
+        the helper-data error correction every deployed PUF key store
+        uses: bit decisions follow the noise-free delay signs, so the
+        same chip always reproduces the same word.  ``stabilised=False``
+        exposes the raw majority-voted behaviour for reliability
+        studies.
+        """
+        word = 0
+        for i in range(n_bits):
+            c = (base_challenge + i * 0x9E3779B97F4A7C15) & ((1 << self.n_stages) - 1)
+            bits = np.array([(c >> j) & 1 for j in range(self.n_stages)])
+            if stabilised:
+                bit = self.response_bit(bits, noisy=False)
+            else:
+                bit = self.response_bit_voted(bits, votes)
+            word |= bit << i
+        return word
+
+
+def inter_chip_uniqueness(pufs: list[ArbiterPuf], base_challenge: int = 0xACE1, n_bits: int = 64) -> float:
+    """Average pairwise fractional Hamming distance of identification keys.
+
+    Ideal PUFs sit near 0.5.
+    """
+    words = [p.response_word(base_challenge, n_bits) for p in pufs]
+    if len(words) < 2:
+        raise ValueError("need at least two PUFs")
+    total = 0.0
+    pairs = 0
+    for i in range(len(words)):
+        for j in range(i + 1, len(words)):
+            total += bin(words[i] ^ words[j]).count("1") / n_bits
+            pairs += 1
+    return total / pairs
+
+
+def intra_chip_stability(puf: ArbiterPuf, base_challenge: int = 0xACE1, n_bits: int = 64, repeats: int = 5) -> float:
+    """Fraction of raw (pre-ECC) voted response bits stable across
+    repeated evaluations."""
+    reference = puf.response_word(base_challenge, n_bits, stabilised=False)
+    stable = 0
+    for _ in range(repeats):
+        again = puf.response_word(base_challenge, n_bits, stabilised=False)
+        stable += n_bits - bin(reference ^ again).count("1")
+    return stable / (n_bits * repeats)

@@ -1,0 +1,66 @@
+"""Tamper-proof key memory (paper Fig. 3a).
+
+The first key-management option stores the configuration LUT in a
+tamper-proof non-volatile memory.  In normal operation the circuit
+"commands dynamically the memories to load the corresponding programming
+bits"; any attempt to read the raw array from outside trips the tamper
+response and zeroises the contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.receiver.config import ConfigWord
+
+
+class TamperError(RuntimeError):
+    """Raised when an unauthorised raw read trips the tamper response."""
+
+
+@dataclass
+class TamperProofMemory:
+    """Behavioural tamper-proof LUT of configuration settings.
+
+    Attributes:
+        chip_id: The die this memory is fused to.
+    """
+
+    chip_id: int
+    _lut: dict[int, int] = field(default_factory=dict, init=False)
+    _zeroised: bool = field(default=False, init=False)
+
+    def store(self, standard_index: int, key: ConfigWord) -> None:
+        """Programme one LUT line (trusted provisioning flow only)."""
+        if self._zeroised:
+            raise TamperError("memory was zeroised by a tamper event")
+        if not 0 <= standard_index < 8:
+            raise ValueError(f"standard index {standard_index} out of range")
+        self._lut[standard_index] = key.encode()
+
+    def load(self, standard_index: int) -> ConfigWord:
+        """Normal-operation load of one configuration setting.
+
+        This is the only sanctioned read path: the word goes straight to
+        the configuration registers, never off-chip.
+        """
+        if self._zeroised:
+            raise TamperError("memory was zeroised by a tamper event")
+        if standard_index not in self._lut:
+            raise KeyError(f"no configuration stored for mode {standard_index}")
+        return ConfigWord.decode(self._lut[standard_index])
+
+    def stored_modes(self) -> list[int]:
+        """Which operation modes have a stored configuration."""
+        return sorted(self._lut)
+
+    def raw_read_attempt(self) -> None:
+        """Model of a physical probing attempt: zeroises the array."""
+        self._lut.clear()
+        self._zeroised = True
+        raise TamperError("tamper event detected: key memory zeroised")
+
+    @property
+    def zeroised(self) -> bool:
+        """Whether the tamper response has fired."""
+        return self._zeroised

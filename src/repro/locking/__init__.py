@@ -1,0 +1,26 @@
+"""The paper's core contribution: locking via the programmability fabric."""
+
+from repro.locking.metrics import (
+    AvalanchePoint,
+    KeyPopulationStudy,
+    KeySpaceAnalysis,
+    avalanche_study,
+    capacitor_subkey_uniqueness,
+    key_population_study,
+    key_space_analysis,
+)
+from repro.locking.scheme import KeyEvaluation, ProgrammabilityLock
+from repro.locking.specs import PerformanceSpec
+
+__all__ = [
+    "AvalanchePoint",
+    "KeyEvaluation",
+    "KeyPopulationStudy",
+    "KeySpaceAnalysis",
+    "PerformanceSpec",
+    "ProgrammabilityLock",
+    "avalanche_study",
+    "capacitor_subkey_uniqueness",
+    "key_population_study",
+    "key_space_analysis",
+]

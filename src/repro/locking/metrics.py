@@ -1,0 +1,244 @@
+"""Locking-efficiency metrics (paper Sec. VI-A quantified).
+
+These studies generate the statistical evidence behind Figs. 7 and 9:
+how invalid keys distribute, how many are "deceptive", how quickly
+performance collapses with key-bit distance (avalanche), and how large
+the *effective* key space is once near-miss keys are accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.receiver.config import KEY_BITS, ConfigWord
+from repro.receiver.performance import measure_modulator_snr, measure_receiver_snr
+from repro.receiver.receiver import Chip
+from repro.receiver.standards import Standard
+
+
+@dataclass
+class KeyPopulationStudy:
+    """SNR statistics over a random invalid-key population.
+
+    Attributes:
+        correct_snr_db: SNR of the correct key.
+        invalid_snrs_db: SNR of every random key, in draw order.
+        keys: The corresponding keys.
+    """
+
+    correct_snr_db: float
+    invalid_snrs_db: np.ndarray
+    keys: list[ConfigWord]
+
+    @property
+    def max_invalid_db(self) -> float:
+        """Best invalid-key SNR (the paper's deceptive key)."""
+        return float(np.max(self.invalid_snrs_db))
+
+    @property
+    def deceptive_index(self) -> int:
+        """Index of the best invalid key (the paper's 'index 7')."""
+        return int(np.argmax(self.invalid_snrs_db))
+
+    @property
+    def deceptive_key(self) -> ConfigWord:
+        """The best-scoring invalid key."""
+        return self.keys[self.deceptive_index]
+
+    def count_above(self, threshold_db: float) -> int:
+        """Number of invalid keys whose SNR exceeds ``threshold_db``."""
+        return int(np.sum(self.invalid_snrs_db > threshold_db))
+
+    def fraction_unlocking(self, spec_db: float) -> float:
+        """Fraction of invalid keys that would pass the SNR spec."""
+        return float(np.mean(self.invalid_snrs_db >= spec_db))
+
+    @property
+    def margin_db(self) -> float:
+        """Gap between the correct key and the best invalid key."""
+        return self.correct_snr_db - self.max_invalid_db
+
+
+def key_population_study(
+    chip: Chip,
+    correct_key: ConfigWord,
+    standard: Standard,
+    n_keys: int = 100,
+    rng: np.random.Generator | None = None,
+    n_fft: int | None = None,
+    at_receiver: bool = False,
+    n_baseband: int = 512,
+    seed: int = 0,
+) -> KeyPopulationStudy:
+    """Measure the correct key and ``n_keys`` random keys (Figs. 7/9)."""
+    rng = rng or np.random.default_rng(7)
+    if at_receiver:
+        correct = measure_receiver_snr(
+            chip, correct_key, standard, n_baseband=n_baseband, seed=seed
+        ).snr_db
+    else:
+        correct = measure_modulator_snr(
+            chip, correct_key, standard, n_fft=n_fft, seed=seed
+        ).snr_db
+    keys = [ConfigWord.random(rng) for _ in range(n_keys)]
+    snrs = np.empty(n_keys)
+    for i, key in enumerate(keys):
+        if at_receiver:
+            snrs[i] = measure_receiver_snr(
+                chip, key, standard, n_baseband=n_baseband, seed=seed
+            ).snr_db
+        else:
+            snrs[i] = measure_modulator_snr(
+                chip, key, standard, n_fft=n_fft, seed=seed
+            ).snr_db
+    return KeyPopulationStudy(
+        correct_snr_db=correct, invalid_snrs_db=snrs, keys=keys
+    )
+
+
+@dataclass
+class AvalanchePoint:
+    """SNR statistics at one Hamming distance from the correct key."""
+
+    hamming_distance: int
+    mean_snr_db: float
+    min_snr_db: float
+    max_snr_db: float
+
+
+def avalanche_study(
+    chip: Chip,
+    correct_key: ConfigWord,
+    standard: Standard,
+    distances: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    trials_per_distance: int = 8,
+    rng: np.random.Generator | None = None,
+    n_fft: int | None = None,
+    seed: int = 0,
+) -> list[AvalanchePoint]:
+    """Performance collapse versus key-bit distance from the correct key.
+
+    Flipping even a single configuration bit can break the circuit (a
+    wrong enable) or barely dent it (a fine-cap LSB): the study maps the
+    average behaviour, the analog analogue of digital locking's
+    avalanche criterion.
+    """
+    rng = rng or np.random.default_rng(11)
+    points = []
+    for distance in distances:
+        snrs = []
+        for _ in range(trials_per_distance):
+            positions = rng.choice(KEY_BITS, size=distance, replace=False)
+            key = correct_key.flip_bits(list(positions))
+            snrs.append(
+                measure_modulator_snr(
+                    chip, key, standard, n_fft=n_fft, seed=seed
+                ).snr_db
+            )
+        points.append(
+            AvalanchePoint(
+                hamming_distance=distance,
+                mean_snr_db=float(np.mean(snrs)),
+                min_snr_db=float(np.min(snrs)),
+                max_snr_db=float(np.max(snrs)),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class KeySpaceAnalysis:
+    """Brute-force search-space accounting (paper Sec. VI-B.1).
+
+    Attributes:
+        total_keys: Size of the raw key space (2^64).
+        unlocking_fraction_estimate: Estimated fraction of random keys
+            that meet the spec (from a population study; usually 0 —
+            then the upper bound 1/n_samples is carried instead).
+        upper_bound_fraction: Upper 95% bound on the unlocking fraction
+            given the sample size (rule of three).
+        expected_trials: Expected brute-force trials to find an
+            unlocking key, using the upper-bound fraction (an attacker's
+            *best* case).
+    """
+
+    total_keys: int
+    unlocking_fraction_estimate: float
+    upper_bound_fraction: float
+    expected_trials: float
+
+
+def key_space_analysis(study: KeyPopulationStudy, spec_db: float) -> KeySpaceAnalysis:
+    """Brute-force accounting from an invalid-key population study."""
+    n = study.invalid_snrs_db.size
+    fraction = study.fraction_unlocking(spec_db)
+    upper = max(fraction, 3.0 / n)  # rule of three when no successes seen
+    return KeySpaceAnalysis(
+        total_keys=1 << KEY_BITS,
+        unlocking_fraction_estimate=fraction,
+        upper_bound_fraction=upper,
+        expected_trials=1.0 / upper,
+    )
+
+
+def structural_unlocking_bound(chip: Chip, correct_key: ConfigWord) -> float:
+    """Structural upper bound on the fraction of unlocking random keys.
+
+    Multiplies the probabilities of the *independently necessary*
+    conditions a random key must satisfy before fine performance even
+    enters the picture — each window is generous (an over-estimate of
+    the tolerable range), so the product upper-bounds the true fraction:
+
+    * the four topology enables must all be 1 (2^-4),
+    * the loop delay must fall in the stable phasing region (~6/16),
+    * the capacitor pair must land within +/-8 fine LSBs of the tuned
+      value (counted exactly over the chip's own arrays),
+    * the -Gm code must sit below oscillation but within 8 codes of the
+      calibrated Q (~8/64), and
+    * each of the four bias codes must land in a half-scale window
+      (1/2 each).
+    """
+    tank = chip.blocks.tank
+    target_c = tank.capacitance(correct_key.cc_coarse, correct_key.cf_fine)
+    window = 8.5 * tank.design.c_fine_lsb
+    n_pairs = 0
+    n_fine = 1 << tank.design.c_fine_bits
+    for cc in range(1 << tank.design.c_coarse_bits):
+        lo = tank.capacitance(cc, 0)
+        hi = tank.capacitance(cc, n_fine - 1)
+        if hi < target_c - window or lo > target_c + window:
+            continue
+        for cf in range(n_fine):
+            if abs(tank.capacitance(cc, cf) - target_c) <= window:
+                n_pairs += 1
+    p_caps = n_pairs / float(1 << (tank.design.c_coarse_bits + tank.design.c_fine_bits))
+    p_enables = 2.0**-4
+    p_delay = 6.0 / 16.0
+    p_gmq = 8.0 / 64.0
+    p_biases = 0.5**4
+    return p_enables * p_delay * p_caps * p_gmq * p_biases
+
+
+def capacitor_subkey_uniqueness(chip: Chip, target_capacitance: float) -> int:
+    """Count coarse/fine code pairs realising a capacitance within 0.5 LSB.
+
+    "Capacitor arrays are binary-weighted, thus for a desired capacitor
+    value there is a unique sub-key" — verified constructively: for a
+    given target the number of (Cc, Cf) pairs within half a fine LSB is
+    counted (1 for targets on the code lattice, up to a handful at
+    coarse/fine overlap points).
+    """
+    tank = chip.blocks.tank
+    half_lsb = tank.design.c_fine_lsb / 2.0
+    count = 0
+    for cc in range(1 << tank.design.c_coarse_bits):
+        base = tank.capacitance(cc, 0)
+        span = tank.capacitance(cc, (1 << tank.design.c_fine_bits) - 1) - base
+        if not base - half_lsb <= target_capacitance <= base + span + half_lsb:
+            continue
+        for cf in range(1 << tank.design.c_fine_bits):
+            if abs(tank.capacitance(cc, cf) - target_capacitance) <= half_lsb:
+                count += 1
+    return count

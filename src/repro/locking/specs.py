@@ -1,0 +1,58 @@
+"""Performance specifications used to decide locked vs unlocked.
+
+"Locking succeeds when at least one performance violates its
+specification" (paper Sec. VI-A).  A specification bundles the minimum
+acceptable figures for a standard; a key unlocks the chip only if every
+measured figure meets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.receiver.standards import Standard
+
+
+@dataclass(frozen=True)
+class PerformanceSpec:
+    """Minimum performance for functional operation in one mode.
+
+    Attributes:
+        snr_min_db: Minimum in-band SNR at the modulator output.
+        snr_rx_min_db: Minimum in-band SNR at the receiver output.
+        sfdr_min_db: Minimum two-tone SFDR.
+    """
+
+    snr_min_db: float
+    snr_rx_min_db: float
+    sfdr_min_db: float
+
+    @classmethod
+    def for_standard(cls, standard: Standard, margin_db: float = 0.0) -> "PerformanceSpec":
+        """Specification derived from a standard's table entry.
+
+        The receiver-output SNR spec is slightly relaxed against the
+        modulator-output one (the digital chain costs a little SNR), and
+        the SFDR spec is taken with a 10 dB allowance as in the
+        calibration acceptance.
+        """
+        return cls(
+            snr_min_db=standard.snr_spec_db - margin_db,
+            snr_rx_min_db=standard.snr_spec_db - 3.0 - margin_db,
+            sfdr_min_db=standard.sfdr_spec_db - 10.0 - margin_db,
+        )
+
+    def meets(
+        self,
+        snr_db: float | None = None,
+        snr_rx_db: float | None = None,
+        sfdr_db: float | None = None,
+    ) -> bool:
+        """True when every *provided* figure satisfies the spec."""
+        if snr_db is not None and snr_db < self.snr_min_db:
+            return False
+        if snr_rx_db is not None and snr_rx_db < self.snr_rx_min_db:
+            return False
+        if sfdr_db is not None and sfdr_db < self.sfdr_min_db:
+            return False
+        return True

@@ -1,0 +1,32 @@
+"""Gate-level logic substrate: netlists, locking, CNF, SAT solving."""
+
+from repro.logic.bench_circuits import (
+    decimation_controller,
+    magnitude_comparator,
+    parity_tree,
+    ripple_adder,
+    sar_optimizer_step,
+)
+from repro.logic.cnf import CnfBuilder, encode_netlist
+from repro.logic.gates import GATE_TYPES, Gate, Netlist
+from repro.logic.locking import LockedNetlist, functional_under_key, lock_netlist
+from repro.logic.sat import SatResult, SatSolver, solve_cnf
+
+__all__ = [
+    "CnfBuilder",
+    "GATE_TYPES",
+    "Gate",
+    "LockedNetlist",
+    "Netlist",
+    "SatResult",
+    "SatSolver",
+    "decimation_controller",
+    "encode_netlist",
+    "functional_under_key",
+    "lock_netlist",
+    "magnitude_comparator",
+    "parity_tree",
+    "ripple_adder",
+    "sar_optimizer_step",
+    "solve_cnf",
+]

@@ -1,0 +1,151 @@
+"""Programmatic benchmark circuits for the digital-locking baselines.
+
+Includes generic arithmetic blocks (adders, comparators, parity) and
+the receiver-specific digital blocks the MixLock [9] and locked-
+calibration [10] baselines protect: the decimation-control decoder and
+a successive-approximation step of the on-chip tuning optimiser.
+"""
+
+from __future__ import annotations
+
+from repro.logic.gates import Netlist
+
+
+def ripple_adder(n_bits: int) -> Netlist:
+    """An ``n_bits`` ripple-carry adder: a[n]+b[n] -> sum[n], cout."""
+    if n_bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    net = Netlist(name=f"adder{n_bits}")
+    net.inputs = [f"a{i}" for i in range(n_bits)] + [f"b{i}" for i in range(n_bits)]
+    carry = None
+    for i in range(n_bits):
+        a, b = f"a{i}", f"b{i}"
+        axb = f"axb{i}"
+        net.add_gate(axb, "XOR", a, b)
+        if carry is None:
+            net.add_gate(f"s{i}", "BUF", axb)
+            net.add_gate(f"c{i}", "AND", a, b)
+        else:
+            net.add_gate(f"s{i}", "XOR", axb, carry)
+            net.add_gate(f"and1_{i}", "AND", axb, carry)
+            net.add_gate(f"and2_{i}", "AND", a, b)
+            net.add_gate(f"c{i}", "OR", f"and1_{i}", f"and2_{i}")
+        carry = f"c{i}"
+    net.outputs = [f"s{i}" for i in range(n_bits)] + [carry]
+    net.validate()
+    return net
+
+
+def magnitude_comparator(n_bits: int) -> Netlist:
+    """``a > b`` comparator over two n-bit words (single output ``gt``)."""
+    if n_bits < 1:
+        raise ValueError("comparator needs at least 1 bit")
+    net = Netlist(name=f"cmp{n_bits}")
+    net.inputs = [f"a{i}" for i in range(n_bits)] + [f"b{i}" for i in range(n_bits)]
+    # gt_i = a_i & ~b_i ; eq_i = a_i XNOR b_i ; gt = OR over i of
+    # (gt_i & eq above i).
+    terms = []
+    for i in range(n_bits):
+        net.add_gate(f"nb{i}", "NOT", f"b{i}")
+        net.add_gate(f"gt{i}", "AND", f"a{i}", f"nb{i}")
+        net.add_gate(f"eq{i}", "XNOR", f"a{i}", f"b{i}")
+    for i in range(n_bits):
+        above = [f"eq{j}" for j in range(i + 1, n_bits)]
+        if not above:
+            terms.append(f"gt{i}")
+        elif len(above) == 1:
+            net.add_gate(f"t{i}", "AND", f"gt{i}", above[0])
+            terms.append(f"t{i}")
+        else:
+            net.add_gate(f"alleq{i}", "AND", *above)
+            net.add_gate(f"t{i}", "AND", f"gt{i}", f"alleq{i}")
+            terms.append(f"t{i}")
+    if len(terms) == 1:
+        net.add_gate("gt", "BUF", terms[0])
+    else:
+        net.add_gate("gt", "OR", *terms)
+    net.outputs = ["gt"]
+    net.validate()
+    return net
+
+
+def parity_tree(n_bits: int) -> Netlist:
+    """Parity of an n-bit word."""
+    if n_bits < 2:
+        raise ValueError("parity needs at least 2 bits")
+    net = Netlist(name=f"parity{n_bits}")
+    net.inputs = [f"x{i}" for i in range(n_bits)]
+    net.add_gate("p1", "XOR", "x0", "x1")
+    last = "p1"
+    for i in range(2, n_bits):
+        net.add_gate(f"p{i}", "XOR", last, f"x{i}")
+        last = f"p{i}"
+    net.outputs = [last]
+    net.validate()
+    return net
+
+
+def decimation_controller() -> Netlist:
+    """The receiver's decimation-control decoder (MixLock target).
+
+    Decodes the 3 digital programming bits (standard select) plus a
+    2-bit rate override into the half-band enable pair, the CIC clear
+    strobe and a 4-bit shift-normalisation code — a realistic small
+    control block of the digital section in Fig. 4.
+    """
+    net = Netlist(name="decim_ctrl")
+    net.inputs = ["std0", "std1", "std2", "rate0", "rate1"]
+    # Half-band enables: hb1 = NOT(rate1 AND rate0); hb2 = NOT rate1.
+    net.add_gate("rr", "AND", "rate0", "rate1")
+    net.add_gate("hb1_en", "NOT", "rr")
+    net.add_gate("hb2_en", "NOT", "rate1")
+    # CIC clear on the reserved standard code 7.
+    net.add_gate("s01", "AND", "std0", "std1")
+    net.add_gate("cic_clr", "AND", "s01", "std2")
+    # Shift code: std + rate (3-bit + 2-bit add, ripple).
+    net.add_gate("x0", "XOR", "std0", "rate0")
+    net.add_gate("c0", "AND", "std0", "rate0")
+    net.add_gate("x1a", "XOR", "std1", "rate1")
+    net.add_gate("x1", "XOR", "x1a", "c0")
+    net.add_gate("c1a", "AND", "std1", "rate1")
+    net.add_gate("c1b", "AND", "x1a", "c0")
+    net.add_gate("c1", "OR", "c1a", "c1b")
+    net.add_gate("x2", "XOR", "std2", "c1")
+    net.add_gate("c2", "AND", "std2", "c1")
+    net.outputs = ["hb1_en", "hb2_en", "cic_clr", "x0", "x1", "x2", "c2"]
+    net.validate()
+    return net
+
+
+def sar_optimizer_step(n_bits: int = 6) -> Netlist:
+    """One successive-approximation step of an on-chip tuning optimiser.
+
+    The [10] baseline locks the digital optimiser in the calibration
+    feedback loop.  This block computes the next trial code from the
+    current code and the comparison verdict: if ``higher`` the current
+    trial bit is kept, else cleared; then the next lower bit is set.
+
+    Inputs: ``code[n]``, ``mask[n]`` (one-hot current bit), ``higher``.
+    Outputs: ``next[n]``.
+    """
+    net = Netlist(name=f"sar{n_bits}")
+    net.inputs = (
+        [f"code{i}" for i in range(n_bits)]
+        + [f"mask{i}" for i in range(n_bits)]
+        + ["higher"]
+    )
+    net.add_gate("nh", "NOT", "higher")
+    for i in range(n_bits):
+        # keep_i = code_i AND NOT(mask_i AND NOT higher): clear the
+        # trial bit when the verdict says we overshot.
+        net.add_gate(f"clr{i}", "AND", f"mask{i}", "nh")
+        net.add_gate(f"nclr{i}", "NOT", f"clr{i}")
+        net.add_gate(f"keep{i}", "AND", f"code{i}", f"nclr{i}")
+        # set_i = mask_{i+1} (the next lower bit becomes the new trial).
+        if i < n_bits - 1:
+            net.add_gate(f"next{i}", "OR", f"keep{i}", f"mask{i+1}")
+        else:
+            net.add_gate(f"next{i}", "BUF", f"keep{i}")
+    net.outputs = [f"next{i}" for i in range(n_bits)]
+    net.validate()
+    return net

@@ -1,0 +1,135 @@
+"""Tseitin transformation: netlists to CNF.
+
+Produces the clause sets the SAT attack solves.  Variables are positive
+integers; literals are signed integers (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.gates import Netlist
+
+
+@dataclass
+class CnfBuilder:
+    """Incremental CNF formula with named-variable management."""
+
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+    _var_count: int = 0
+    _names: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_vars(self) -> int:
+        """Number of allocated variables."""
+        return self._var_count
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable, optionally bound to a name."""
+        self._var_count += 1
+        if name is not None:
+            if name in self._names:
+                raise ValueError(f"variable name {name!r} already bound")
+            self._names[name] = self._var_count
+        return self._var_count
+
+    def var(self, name: str) -> int:
+        """Variable bound to ``name`` (allocating on first use)."""
+        if name not in self._names:
+            self.new_var(name)
+        return self._names[name]
+
+    def add_clause(self, *literals: int) -> None:
+        """Add one clause (non-empty tuple of signed literals)."""
+        if not literals:
+            raise ValueError("empty clause")
+        self.clauses.append(tuple(literals))
+
+    # -- gate encodings ---------------------------------------------------
+
+    def encode_and(self, out: int, ins: list[int]) -> None:
+        """out <-> AND(ins)."""
+        for i in ins:
+            self.add_clause(-out, i)
+        self.add_clause(out, *[-i for i in ins])
+
+    def encode_or(self, out: int, ins: list[int]) -> None:
+        """out <-> OR(ins)."""
+        for i in ins:
+            self.add_clause(out, -i)
+        self.add_clause(-out, *ins)
+
+    def encode_xor2(self, out: int, a: int, b: int) -> None:
+        """out <-> a XOR b."""
+        self.add_clause(-out, a, b)
+        self.add_clause(-out, -a, -b)
+        self.add_clause(out, -a, b)
+        self.add_clause(out, a, -b)
+
+    def encode_not(self, out: int, a: int) -> None:
+        """out <-> NOT a."""
+        self.add_clause(-out, -a)
+        self.add_clause(out, a)
+
+    def encode_buf(self, out: int, a: int) -> None:
+        """out <-> a."""
+        self.add_clause(-out, a)
+        self.add_clause(out, -a)
+
+    def encode_mux(self, out: int, sel: int, a: int, b: int) -> None:
+        """out <-> (sel ? b : a)."""
+        self.add_clause(-out, sel, a)
+        self.add_clause(out, sel, -a)
+        self.add_clause(-out, -sel, b)
+        self.add_clause(out, -sel, -b)
+
+
+def encode_netlist(builder: CnfBuilder, netlist: Netlist, prefix: str = "") -> dict[str, int]:
+    """Tseitin-encode ``netlist`` into ``builder``.
+
+    Every net becomes a variable named ``prefix + net``.  Returns the
+    net-to-variable map.
+    """
+    mapping = {net: builder.var(prefix + net) for net in netlist.inputs}
+    for net in netlist.topological_nets():
+        gate = netlist.gates[net]
+        out = builder.var(prefix + net)
+        mapping[net] = out
+        ins = [builder.var(prefix + src) for src in gate.inputs]
+        if gate.gate_type == "AND":
+            builder.encode_and(out, ins)
+        elif gate.gate_type == "OR":
+            builder.encode_or(out, ins)
+        elif gate.gate_type == "NAND":
+            tmp = builder.new_var()
+            builder.encode_and(tmp, ins)
+            builder.encode_not(out, tmp)
+        elif gate.gate_type == "NOR":
+            tmp = builder.new_var()
+            builder.encode_or(tmp, ins)
+            builder.encode_not(out, tmp)
+        elif gate.gate_type == "XOR":
+            acc = ins[0]
+            for nxt in ins[1:-1]:
+                tmp = builder.new_var()
+                builder.encode_xor2(tmp, acc, nxt)
+                acc = tmp
+            builder.encode_xor2(out, acc, ins[-1])
+        elif gate.gate_type == "XNOR":
+            tmp = builder.new_var()
+            acc = ins[0]
+            for nxt in ins[1:-1]:
+                t2 = builder.new_var()
+                builder.encode_xor2(t2, acc, nxt)
+                acc = t2
+            builder.encode_xor2(tmp, acc, ins[-1])
+            builder.encode_not(out, tmp)
+        elif gate.gate_type == "NOT":
+            builder.encode_not(out, ins[0])
+        elif gate.gate_type == "BUF":
+            builder.encode_buf(out, ins[0])
+        elif gate.gate_type == "MUX":
+            builder.encode_mux(out, ins[0], ins[1], ins[2])
+        else:  # pragma: no cover - GATE_TYPES guards this
+            raise ValueError(f"unknown gate type {gate.gate_type!r}")
+    return mapping

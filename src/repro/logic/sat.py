@@ -1,0 +1,124 @@
+"""A small DPLL SAT solver with unit propagation and activity ordering.
+
+Written from scratch for the oracle-guided SAT attack on the digital
+locking baselines.  It is a classic iterative DPLL: two-literal watching
+is replaced by straightforward clause scanning with per-variable
+occurrence lists — entirely adequate for the few-thousand-clause miters
+these benchmarks produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SatResult:
+    """Solver outcome.
+
+    Attributes:
+        satisfiable: Whether a model exists.
+        assignment: A satisfying assignment (variable -> bool) when
+            satisfiable; empty otherwise.
+        decisions: Number of branching decisions taken.
+    """
+
+    satisfiable: bool
+    assignment: dict[int, bool] = field(default_factory=dict)
+    decisions: int = 0
+
+
+class SatSolver:
+    """DPLL over a fixed clause list."""
+
+    def __init__(self, n_vars: int, clauses: list[tuple[int, ...]]):
+        self.n_vars = n_vars
+        self.clauses = [tuple(c) for c in clauses]
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0 or abs(lit) > n_vars:
+                    raise ValueError(f"literal {lit} out of range")
+        # Occurrence lists: variable -> clause indices.
+        self._occurs: dict[int, list[int]] = {v: [] for v in range(1, n_vars + 1)}
+        for idx, clause in enumerate(self.clauses):
+            for lit in clause:
+                self._occurs[abs(lit)].append(idx)
+
+    def solve(self, max_decisions: int = 2_000_000) -> SatResult:
+        """Run DPLL; raises RuntimeError past ``max_decisions``."""
+        assignment: dict[int, bool] = {}
+        trail: list[tuple[int, bool]] = []  # (var, was_decision)
+        decisions = 0
+
+        def value(lit: int) -> bool | None:
+            v = assignment.get(abs(lit))
+            if v is None:
+                return None
+            return v if lit > 0 else not v
+
+        def assign(lit: int, is_decision: bool) -> None:
+            assignment[abs(lit)] = lit > 0
+            trail.append((abs(lit), is_decision))
+
+        def propagate() -> bool:
+            """Unit propagation to fixpoint; False on conflict."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in self.clauses:
+                    unassigned = None
+                    n_unassigned = 0
+                    satisfied = False
+                    for lit in clause:
+                        v = value(lit)
+                        if v is True:
+                            satisfied = True
+                            break
+                        if v is None:
+                            unassigned = lit
+                            n_unassigned += 1
+                    if satisfied:
+                        continue
+                    if n_unassigned == 0:
+                        return False
+                    if n_unassigned == 1:
+                        assign(unassigned, is_decision=False)
+                        changed = True
+            return True
+
+        def backtrack() -> bool:
+            """Undo to the last decision and flip it; False if none left."""
+            while trail:
+                var, was_decision = trail.pop()
+                val = assignment.pop(var)
+                if was_decision:
+                    # Flip: re-assign as a forced (non-decision) value.
+                    assign(var if not val else -var, is_decision=False)
+                    return True
+            return False
+
+        # Static branching order: most-occurring variables first.
+        order = sorted(
+            range(1, self.n_vars + 1),
+            key=lambda v: -len(self._occurs[v]),
+        )
+
+        while True:
+            if not propagate():
+                if not backtrack():
+                    return SatResult(satisfiable=False, decisions=decisions)
+                continue
+            free = next((v for v in order if v not in assignment), None)
+            if free is None:
+                return SatResult(
+                    satisfiable=True, assignment=dict(assignment), decisions=decisions
+                )
+            decisions += 1
+            if decisions > max_decisions:
+                raise RuntimeError(f"decision budget exceeded ({max_decisions})")
+            assign(free, is_decision=True)
+
+
+def solve_cnf(n_vars: int, clauses: list[tuple[int, ...]], max_decisions: int = 2_000_000) -> SatResult:
+    """One-shot convenience wrapper around :class:`SatSolver`."""
+    return SatSolver(n_vars, clauses).solve(max_decisions)

@@ -1,0 +1,10 @@
+"""Process-variation modelling: per-chip parameter draws."""
+
+from repro.process.variations import (
+    ChipFactory,
+    ChipVariations,
+    ProcessModel,
+    typical_chip,
+)
+
+__all__ = ["ChipFactory", "ChipVariations", "ProcessModel", "typical_chip"]

@@ -1,0 +1,154 @@
+"""Per-chip process variations.
+
+"Typically process variations are taken into consideration during
+calibration, thus the configuration settings end up being unique for
+each chip" (paper Sec. III).  This module draws a deterministic,
+seeded set of parameter perturbations for every fabricated chip:
+global (inter-die) scale factors on passives and transconductances,
+local (intra-die) mismatch on the unit capacitors of the binary-weighted
+arrays, comparator offset, DAC gain error and delay skew.
+
+The draw is a pure function of ``(lot_seed, chip_id)`` so chips are
+reproducible across runs — the behavioural equivalent of labelled dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProcessModel:
+    """Standard deviations of the variation sources (1-sigma, relative
+    unless stated otherwise)."""
+
+    inductor_sigma: float = 0.03
+    c_fixed_sigma: float = 0.05
+    unit_cap_sigma: float = 0.015
+    q_factor_sigma: float = 0.08
+    gm_sigma: float = 0.06
+    lna_stage_gain_sigma_db: float = 0.4
+    comp_offset_sigma: float = 5e-3
+    dac_gain_sigma: float = 0.05
+    delay_skew_sigma: float = 0.04
+    noise_scale_sigma: float = 0.10
+
+
+@dataclass(frozen=True)
+class ChipVariations:
+    """Concrete variation draw for one chip.
+
+    All ``*_scale`` entries multiply the nominal value; offsets are in
+    volts; ``coarse_unit_scales``/``fine_unit_scales`` multiply each
+    binary-weighted bit of the capacitor arrays individually.
+    """
+
+    chip_id: int
+    inductor_scale: float
+    c_fixed_scale: float
+    coarse_unit_scales: np.ndarray
+    fine_unit_scales: np.ndarray
+    q_factor_scale: float
+    gmin_scale: float
+    gmq_scale: float
+    preamp_scale: float
+    dac_gain_scale: float
+    comp_offset: float
+    delay_skew: float
+    lna_stage_gain_err_db: np.ndarray
+    noise_scale: float
+
+    def summary(self) -> dict[str, float]:
+        """Scalar overview used in reports and tests."""
+        return {
+            "chip_id": float(self.chip_id),
+            "inductor_scale": self.inductor_scale,
+            "c_fixed_scale": self.c_fixed_scale,
+            "q_factor_scale": self.q_factor_scale,
+            "gmin_scale": self.gmin_scale,
+            "gmq_scale": self.gmq_scale,
+            "dac_gain_scale": self.dac_gain_scale,
+            "comp_offset": self.comp_offset,
+            "delay_skew": self.delay_skew,
+        }
+
+
+@dataclass
+class ChipFactory:
+    """Deterministic 'fab' producing chips with unique variations.
+
+    Args:
+        lot_seed: Seed of the manufacturing lot; two factories with the
+            same seed produce identical chips.
+        model: The 1-sigma process model.
+    """
+
+    lot_seed: int = 2020
+    model: ProcessModel = field(default_factory=ProcessModel)
+
+    def draw(self, chip_id: int, n_coarse_bits: int = 8, n_fine_bits: int = 8) -> ChipVariations:
+        """Draw the variation set of chip ``chip_id``."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.lot_seed, spawn_key=(chip_id,))
+        )
+        m = self.model
+
+        def scale(sigma: float) -> float:
+            # Clip at 3 sigma: catastrophic outliers are screened at test.
+            return float(1.0 + np.clip(rng.normal(0.0, sigma), -3 * sigma, 3 * sigma))
+
+        return ChipVariations(
+            chip_id=chip_id,
+            inductor_scale=scale(m.inductor_sigma),
+            c_fixed_scale=scale(m.c_fixed_sigma),
+            coarse_unit_scales=1.0
+            + np.clip(
+                rng.normal(0.0, m.unit_cap_sigma, n_coarse_bits),
+                -3 * m.unit_cap_sigma,
+                3 * m.unit_cap_sigma,
+            ),
+            fine_unit_scales=1.0
+            + np.clip(
+                rng.normal(0.0, m.unit_cap_sigma, n_fine_bits),
+                -3 * m.unit_cap_sigma,
+                3 * m.unit_cap_sigma,
+            ),
+            q_factor_scale=scale(m.q_factor_sigma),
+            gmin_scale=scale(m.gm_sigma),
+            gmq_scale=scale(m.gm_sigma),
+            preamp_scale=scale(m.gm_sigma),
+            dac_gain_scale=scale(m.dac_gain_sigma),
+            comp_offset=float(rng.normal(0.0, m.comp_offset_sigma)),
+            delay_skew=float(
+                np.clip(rng.normal(0.0, m.delay_skew_sigma), -0.12, 0.12)
+            ),
+            lna_stage_gain_err_db=rng.normal(0.0, m.lna_stage_gain_sigma_db, 5),
+            noise_scale=scale(m.noise_scale_sigma),
+        )
+
+    def batch(self, n_chips: int) -> list[ChipVariations]:
+        """Variation draws for chips ``0..n_chips-1`` (a wafer lot)."""
+        return [self.draw(i) for i in range(n_chips)]
+
+
+#: A typical (zero-variation) chip, used for nominal design checks.
+def typical_chip(chip_id: int = -1) -> ChipVariations:
+    """A chip with every parameter exactly nominal."""
+    return ChipVariations(
+        chip_id=chip_id,
+        inductor_scale=1.0,
+        c_fixed_scale=1.0,
+        coarse_unit_scales=np.ones(8),
+        fine_unit_scales=np.ones(8),
+        q_factor_scale=1.0,
+        gmin_scale=1.0,
+        gmq_scale=1.0,
+        preamp_scale=1.0,
+        dac_gain_scale=1.0,
+        comp_offset=0.0,
+        delay_skew=0.0,
+        lna_stage_gain_err_db=np.zeros(5),
+        noise_scale=1.0,
+    )

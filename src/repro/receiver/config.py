@@ -1,0 +1,177 @@
+"""The 64-bit analog configuration word (= the secret key).
+
+The paper's receiver embeds 64 programming bits in the analog section
+(4 for the VGLNA, 60 for the band-pass sigma-delta modulator) and 3 in
+the digital section.  The analog word doubles as the locking key; the
+digital bits are excluded from the key, as in the paper ("the calibration
+of the digital section for a given standard is straightforward").
+
+The register map below allocates the 64 bits across the tuning knobs of
+Figs. 5 and 6: VGLNA gain, coarse/fine capacitor arrays (Cc, Cf), the
+-Gm Q-enhancement bias, the Gmin/pre-amp/comparator/DAC bias trims, the
+loop delay, the output buffer, the loop-topology enables used by the
+calibration procedure (feedback, comparator clock, Gmin, DAC), plus
+dither/chopping controls and a global bias trim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+#: (field name, bit width), LSB-first packing order.  Widths sum to 64.
+FIELD_SPEC: tuple[tuple[str, int], ...] = (
+    ("lna_gain", 4),
+    ("cc_coarse", 8),
+    ("cf_fine", 8),
+    ("gmq_code", 6),
+    ("gmin_code", 6),
+    ("preamp_code", 5),
+    ("comp_code", 5),
+    ("dac_code", 6),
+    ("delay_code", 4),
+    ("buffer_code", 3),
+    ("comp_clk_en", 1),
+    ("fb_en", 1),
+    ("gmin_en", 1),
+    ("dac_en", 1),
+    ("dither_en", 1),
+    ("chop_en", 1),
+    ("bias_global", 3),
+)
+
+KEY_BITS = sum(width for _, width in FIELD_SPEC)
+assert KEY_BITS == 64, f"register map must span 64 bits, got {KEY_BITS}"
+
+
+@dataclass(frozen=True)
+class ConfigWord:
+    """Decoded 64-bit analog configuration word.
+
+    Every field is an unsigned integer bounded by its register width.
+    Instances are immutable; use :meth:`replace` for modified copies.
+    """
+
+    lna_gain: int = 0
+    cc_coarse: int = 0
+    cf_fine: int = 0
+    gmq_code: int = 0
+    gmin_code: int = 0
+    preamp_code: int = 0
+    comp_code: int = 0
+    dac_code: int = 0
+    delay_code: int = 0
+    buffer_code: int = 0
+    comp_clk_en: int = 1
+    fb_en: int = 1
+    gmin_en: int = 1
+    dac_en: int = 1
+    dither_en: int = 0
+    chop_en: int = 0
+    bias_global: int = 4
+
+    def __post_init__(self) -> None:
+        for name, width in FIELD_SPEC:
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)):
+                raise TypeError(f"{name} must be an integer, got {type(value)!r}")
+            if not 0 <= value < (1 << width):
+                raise ValueError(
+                    f"{name}={value} out of range for a {width}-bit field"
+                )
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self) -> int:
+        """Pack all fields into a 64-bit integer (LSB-first field order)."""
+        word = 0
+        shift = 0
+        for name, width in FIELD_SPEC:
+            word |= (int(getattr(self, name)) & ((1 << width) - 1)) << shift
+            shift += width
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "ConfigWord":
+        """Unpack a 64-bit integer into a :class:`ConfigWord`."""
+        if not 0 <= word < (1 << KEY_BITS):
+            raise ValueError(f"word must fit in {KEY_BITS} bits, got {word:#x}")
+        values = {}
+        shift = 0
+        for name, width in FIELD_SPEC:
+            values[name] = (word >> shift) & ((1 << width) - 1)
+            shift += width
+        return cls(**values)
+
+    def to_bits(self) -> np.ndarray:
+        """LSB-first bit vector of length 64 (dtype uint8)."""
+        word = self.encode()
+        return np.array([(word >> i) & 1 for i in range(KEY_BITS)], dtype=np.uint8)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "ConfigWord":
+        """Inverse of :meth:`to_bits`."""
+        bits = np.asarray(bits)
+        if bits.size != KEY_BITS:
+            raise ValueError(f"need {KEY_BITS} bits, got {bits.size}")
+        word = 0
+        for i in range(KEY_BITS):
+            word |= (int(bits[i]) & 1) << i
+        return cls.decode(word)
+
+    # -- manipulation -------------------------------------------------------
+
+    def replace(self, **changes: int) -> "ConfigWord":
+        """Copy with the given fields replaced."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(changes)
+        return ConfigWord(**values)
+
+    def flip_bits(self, positions: list[int]) -> "ConfigWord":
+        """Copy with the listed bit positions (0..63) inverted."""
+        word = self.encode()
+        for p in positions:
+            p = int(p)  # accept numpy integers
+            if not 0 <= p < KEY_BITS:
+                raise ValueError(f"bit position {p} out of range")
+            word ^= 1 << p
+        return ConfigWord.decode(word)
+
+    def hamming_distance(self, other: "ConfigWord") -> int:
+        """Number of differing bits between two configuration words."""
+        return int(bin(self.encode() ^ other.encode()).count("1"))
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "ConfigWord":
+        """Uniformly random 64-bit configuration word (an 'invalid key')."""
+        word = int(rng.integers(0, 1 << 32)) | (int(rng.integers(0, 1 << 32)) << 32)
+        return cls.decode(word)
+
+    @staticmethod
+    def field_bit_range(name: str) -> tuple[int, int]:
+        """Bit span ``[lo, hi)`` of field ``name`` within the 64-bit word."""
+        shift = 0
+        for field_name, width in FIELD_SPEC:
+            if field_name == name:
+                return shift, shift + width
+            shift += width
+        raise KeyError(f"no field named {name!r}")
+
+
+@dataclass(frozen=True)
+class DigitalConfig:
+    """The 3 digital-section programming bits (not part of the key).
+
+    They select the decimation/band profile for the target standard;
+    the paper excludes them from the lock because their setting is
+    straightforward to derive.
+    """
+
+    standard_select: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.standard_select < 8:
+            raise ValueError(
+                f"standard_select must fit in 3 bits, got {self.standard_select}"
+            )

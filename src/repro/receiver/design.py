@@ -1,0 +1,130 @@
+"""Nominal (pre-process-variation) design constants of the receiver.
+
+One dataclass gathers every physical parameter of the behavioural model
+so that the process-variation machinery (:mod:`repro.process`) can
+perturb a single object per fabricated chip.  Values are chosen to place
+the reference operating point (F0 = 3 GHz, Fs = 12 GHz, OSR = 64) in the
+paper's reported performance ranges: correct-key SNR > 40 dB at
+-25 dBm input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TankDesign:
+    """LC band-pass loop filter with coarse/fine capacitor arrays.
+
+    The arrays are binary weighted (paper Sec. VI-B.1: "capacitor arrays
+    are binary-weighted, thus for a desired capacitor value there is a
+    unique sub-key").
+    """
+
+    inductance: float = 0.5e-9
+    #: Fixed tank capacitance, sized so that even a +3-sigma process
+    #: draw leaves array headroom above the 3 GHz (minimum-C) corner.
+    c_fixed: float = 4.6e-12
+    c_coarse_lsb: float = 80e-15
+    c_coarse_bits: int = 8
+    c_fine_lsb: float = 4e-15
+    c_fine_bits: int = 8
+    #: Native tank quality factor; sized so the maximum -Gm code can
+    #: overcome the loss conductance sqrt(C/L)/Q at every tuning code
+    #: (oscillation-mode calibration must work down to 1.4 GHz).
+    q_factor: float = 12.0
+    #: -Gm Q-enhancement transconductor: 6-bit linear DAC.
+    gmq_lsb: float = 0.35e-3
+    gmq_bits: int = 6
+    #: Saturation voltage of the -Gm cell (limits oscillation amplitude).
+    gmq_vsat: float = 0.3
+
+
+@dataclass(frozen=True)
+class VglnaDesign:
+    """Five-stage variable-gain LNA with resistive feedback (Fig. 5).
+
+    The 4-bit word selects one of 16 gain levels; noise and linearity
+    track the gain setting as in a resistive-feedback inverter chain.
+    """
+
+    n_stages: int = 5
+    gain_min_db: float = -3.0
+    gain_step_db: float = 3.0
+    #: Output clip level per stage, volts.
+    v_clip: float = 0.9
+    #: Input-referred noise density at maximum gain, V/sqrt(Hz).
+    noise_density: float = 0.9e-9
+    #: Extra input-referred noise per gain step below maximum, factor.
+    noise_per_step: float = 1.12
+
+
+@dataclass(frozen=True)
+class FrontEndDesign:
+    """Input transconductor Gmin, pre-amplifier, comparator, DAC, delay."""
+
+    #: Gmin bias DAC: i_out = gmin * v, 6-bit.
+    gmin_lsb: float = 0.25e-3
+    gmin_bits: int = 6
+    #: Soft-limiting knee of the transconductor, volts.
+    gmin_vlin: float = 0.35
+    #: Pre-amplifier gain range: 1 + 3*code/code_max.
+    preamp_gain_max: float = 4.0
+    preamp_bits: int = 5
+    preamp_v_clip: float = 0.6
+    #: Comparator: offset/noise degrade as the bias code drops.
+    comp_bits: int = 5
+    comp_noise_floor: float = 2e-3
+    comp_noise_starved: float = 20e-3
+    #: Regenerative hysteresis: negligible against the closed-loop
+    #: pre-amp swing, but it latches the comparator on the weak inputs
+    #: an open-loop invalid key produces.
+    comp_hysteresis: float = 15e-3
+    #: Feedback DAC full scale: i_fs = dac_i_ref * (0.25 + 1.5*code/code_max).
+    dac_i_ref: float = 1.0e-3
+    dac_bits: int = 6
+    #: Loop delay: tau = delay_code / 16 * Ts, 4-bit.
+    delay_bits: int = 4
+    #: Output buffer gain: 0.8 + 0.05*code, 3-bit.
+    buffer_gain_base: float = 0.8
+    buffer_gain_step: float = 0.05
+    #: Logic switching threshold of the digital gates fed by the
+    #: modulator output, volts.  Full-swing bitstream levels
+    #: (+/- buffer gain >= 0.8 V) cross it cleanly; the reduced-swing
+    #: analog waveform of a buffer-mode (deceptive) key mostly does
+    #: not, which collapses its SNR at the receiver output (Fig. 9).
+    logic_threshold: float = 0.4
+
+
+@dataclass(frozen=True)
+class NoiseDesign:
+    """Thermal/electronic noise budget of the analog front end."""
+
+    #: Input-referred noise current density into the tank, A/sqrt(Hz).
+    #: Sized so the calibrated chip lands just above the paper's 40 dB
+    #: correct-key SNR (thermal + shaped quantisation noise combined).
+    tank_current_noise: float = 350e-12
+    #: Dither injection amplitude at the comparator when dither_en=1, volts.
+    dither_amplitude: float = 2e-3
+
+
+@dataclass(frozen=True)
+class ReceiverDesign:
+    """Complete nominal design of the programmable RF receiver (Fig. 4)."""
+
+    tank: TankDesign = field(default_factory=TankDesign)
+    vglna: VglnaDesign = field(default_factory=VglnaDesign)
+    front_end: FrontEndDesign = field(default_factory=FrontEndDesign)
+    noise: NoiseDesign = field(default_factory=NoiseDesign)
+    #: Oversampling ratio for all standards; band = fs / (2 * osr).
+    osr: int = 64
+    #: Global bias trim: gm scale = 1 + (code - 4) * step, 3-bit.
+    #: A wrong trim skews every transconductance/bias current by up to
+    #: ~40%, so these key bits have real locking weight.
+    bias_global_step: float = 0.10
+    #: Samples per SNR measurement (paper: 8192-point FFT).
+    fft_points: int = 8192
+
+
+NOMINAL_DESIGN = ReceiverDesign()

@@ -1,0 +1,152 @@
+"""The fabricated chip: receiver design + per-chip process variations.
+
+:class:`Chip` is the central object of the reproduction.  Calibration,
+locking and attacks all operate on chips strictly through simulation of
+their configured behaviour — exactly the oracle access the paper's
+threat model grants ("the attacker ... has the netlist and access to
+working oracle chips").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocks import (
+    Comparator,
+    FeedbackDac,
+    InputTransconductor,
+    LoopDelay,
+    OutputBuffer,
+    PreAmplifier,
+    TunableLcTank,
+    Vglna,
+)
+from repro.process.variations import ChipVariations, typical_chip
+from repro.receiver.chain import DigitalChain, ReceiverResult
+from repro.receiver.config import ConfigWord, DigitalConfig
+from repro.receiver.design import NOMINAL_DESIGN, ReceiverDesign
+from repro.receiver.sdm import (
+    ModulatorBlocks,
+    ModulatorResult,
+    oscillation_config,
+    simulate_modulator,
+)
+from repro.receiver.stimulus import ToneStimulus
+
+
+@dataclass
+class Chip:
+    """One fabricated instance of the programmable RF receiver."""
+
+    design: ReceiverDesign = field(default_factory=lambda: NOMINAL_DESIGN)
+    variations: ChipVariations = field(default_factory=typical_chip)
+    _blocks: ModulatorBlocks | None = field(default=None, init=False, repr=False)
+
+    @property
+    def chip_id(self) -> int:
+        """Identifier of this die within its lot."""
+        return self.variations.chip_id
+
+    @property
+    def blocks(self) -> ModulatorBlocks:
+        """The chip's analog block set (built once, then cached)."""
+        if self._blocks is None:
+            d = self.design
+            v = self.variations
+            self._blocks = ModulatorBlocks(
+                tank=TunableLcTank(d.tank, v),
+                vglna=Vglna(d.vglna, v),
+                gmin=InputTransconductor(d.front_end, v),
+                preamp=PreAmplifier(d.front_end, v),
+                comparator=Comparator(d.front_end, v),
+                dac=FeedbackDac(d.front_end, v),
+                delay=LoopDelay(d.front_end, v),
+                buffer=OutputBuffer(d.front_end, v),
+                tank_current_noise=d.noise.tank_current_noise * v.noise_scale,
+                dither_amplitude=d.noise.dither_amplitude,
+                bias_global_step=d.bias_global_step,
+            )
+        return self._blocks
+
+    def simulate_modulator(
+        self,
+        config: ConfigWord,
+        stimulus: ToneStimulus,
+        fs: float,
+        n_samples: int | None = None,
+        seed: int = 0,
+        substeps: int = 4,
+        initial_state: tuple[float, float] = (0.0, 0.0),
+    ) -> ModulatorResult:
+        """Transient simulation of the configured modulator."""
+        if n_samples is None:
+            n_samples = self.design.fft_points
+        return simulate_modulator(
+            self.blocks,
+            config,
+            stimulus,
+            fs=fs,
+            n_samples=n_samples,
+            seed=seed,
+            substeps=substeps,
+            initial_state=initial_state,
+        )
+
+    def simulate_receiver(
+        self,
+        config: ConfigWord,
+        stimulus: ToneStimulus,
+        fs: float,
+        n_baseband: int = 1024,
+        seed: int = 0,
+        substeps: int = 4,
+        digital_config: DigitalConfig | None = None,
+    ) -> ReceiverResult:
+        """Full-chain simulation: modulator plus digital section.
+
+        ``n_baseband`` output samples require ``n_baseband * osr``
+        modulator clock periods, so this costs OSR times more than a
+        modulator-only measurement of the same record length — mirroring
+        the paper's observation that receiver-output measurements are
+        the slow ones (20 minutes per SNR point on their testbed).
+        """
+        mod = self.simulate_modulator(
+            config,
+            stimulus,
+            fs,
+            n_samples=n_baseband * self.design.osr,
+            seed=seed,
+            substeps=substeps,
+        )
+        chain = DigitalChain(
+            osr=self.design.osr,
+            logic_threshold=self.design.front_end.logic_threshold,
+            digital_config=digital_config or DigitalConfig(),
+        )
+        return chain.process(mod.output, fs)
+
+    def simulate_oscillation(
+        self,
+        config: ConfigWord,
+        fs: float,
+        n_samples: int = 4096,
+        gmq_code: int | None = None,
+        seed: int = 0,
+        substeps: int = 4,
+    ) -> ModulatorResult:
+        """Free-running tank measurement (calibration steps 1-7).
+
+        The loop is opened, the input disabled, the comparator buffered
+        and the -Gm set to ``gmq_code`` (maximum by default); a small
+        initial kick starts the oscillation.
+        """
+        osc = oscillation_config(config, gmq_code)
+        return self.simulate_modulator(
+            osc,
+            ToneStimulus.off(),
+            fs,
+            n_samples=n_samples,
+            seed=seed,
+            substeps=substeps,
+            initial_state=(1e-3, 0.0),
+        )

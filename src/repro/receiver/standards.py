@@ -1,0 +1,72 @@
+"""Communication standards served by the multi-standard receiver.
+
+The paper's receiver covers 1.5-3.0 GHz ("including Bluetooth, ZigBee,
+WiFi 802.11b, etc.") with one configuration word per standard and per
+chip.  Each standard records the centre frequency the LC tank must be
+tuned to, the channel bandwidth, and the performance specification used
+to decide whether a key unlocks the chip.
+
+``REF3000`` is the paper's demonstration point: "We will consider the
+maximum center frequency, e.g. 3 GHz".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Standard:
+    """One pre-specified operation mode of the receiver.
+
+    Attributes:
+        name: Human-readable standard name.
+        f_center: RF centre frequency the tank is calibrated to, Hz.
+        channel_bw: Channel bandwidth of the standard, Hz (documentation;
+            the SNR integration band is set by the OSR).
+        snr_spec_db: Minimum in-band SNR for the chip to count as
+            functional in this mode.
+        sfdr_spec_db: Minimum two-tone SFDR specification.
+        index: The 3-bit digital-section standard select code.
+    """
+
+    name: str
+    f_center: float
+    channel_bw: float
+    snr_spec_db: float
+    sfdr_spec_db: float
+    index: int
+
+    @property
+    def fs(self) -> float:
+        """Modulator sampling frequency; the paper sets Fs = 4 * F0."""
+        return 4.0 * self.f_center
+
+
+#: The eight pre-specified operation modes (3-bit LUT of Fig. 3).
+STANDARDS: tuple[Standard, ...] = (
+    Standard("REF3000", 3.000e9, 20e6, 40.0, 40.0, 0),
+    Standard("WIMAX2500", 2.595e9, 10e6, 38.0, 38.0, 1),
+    Standard("WIFI11B", 2.437e9, 22e6, 35.0, 35.0, 2),
+    Standard("BLUETOOTH", 2.441e9, 1e6, 35.0, 35.0, 3),
+    Standard("ZIGBEE", 2.405e9, 2e6, 33.0, 33.0, 4),
+    Standard("UMTS2100", 2.140e9, 5e6, 36.0, 36.0, 5),
+    Standard("LTE1800", 1.842e9, 10e6, 36.0, 36.0, 6),
+    Standard("GPS_L1", 1.575e9, 2e6, 33.0, 33.0, 7),
+)
+
+
+def standard_by_name(name: str) -> Standard:
+    """Look up a standard by (case-insensitive) name."""
+    for std in STANDARDS:
+        if std.name.lower() == name.lower():
+            return std
+    raise KeyError(f"unknown standard {name!r}")
+
+
+def standard_by_index(index: int) -> Standard:
+    """Look up a standard by its 3-bit digital select code."""
+    for std in STANDARDS:
+        if std.index == index:
+            return std
+    raise KeyError(f"no standard with index {index}")

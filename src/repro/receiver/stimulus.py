@@ -1,0 +1,61 @@
+"""RF stimulus description for receiver simulations.
+
+Measurements in the paper use single tones (SNR, dynamic range) and
+equal-power two-tone sets (SFDR).  A stimulus is a sum of cosines,
+specified in dBm into 50 ohm, evaluated lazily on the simulator's
+(sub-sampled) time grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.units import dbm_to_vamp
+
+
+@dataclass(frozen=True)
+class Tone:
+    """A single cosine: ``amplitude * cos(2 pi freq t + phase)``."""
+
+    freq: float
+    amplitude: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.freq <= 0.0:
+            raise ValueError(f"tone frequency must be positive, got {self.freq}")
+        if self.amplitude < 0.0:
+            raise ValueError(f"tone amplitude must be >= 0, got {self.amplitude}")
+
+
+@dataclass(frozen=True)
+class ToneStimulus:
+    """A multi-tone RF stimulus."""
+
+    tones: tuple[Tone, ...]
+
+    def sample(self, t: np.ndarray) -> np.ndarray:
+        """Waveform evaluated at times ``t`` (seconds)."""
+        out = np.zeros_like(np.asarray(t, dtype=float))
+        for tone in self.tones:
+            out += tone.amplitude * np.cos(2.0 * np.pi * tone.freq * t + tone.phase)
+        return out
+
+    @classmethod
+    def off(cls) -> "ToneStimulus":
+        """No RF input (calibration step 3 disables the input anyway,
+        but an explicitly silent stimulus is useful for noise floors)."""
+        return cls(tones=())
+
+    @classmethod
+    def single(cls, freq: float, power_dbm: float, phase: float = 0.0) -> "ToneStimulus":
+        """Single tone of the given power in dBm into 50 ohm."""
+        return cls(tones=(Tone(freq, dbm_to_vamp(power_dbm), phase),))
+
+    @classmethod
+    def two_tone(cls, f1: float, f2: float, power_dbm_each: float) -> "ToneStimulus":
+        """Two equal-power tones (paper Fig. 12: Delta f = 10 MHz)."""
+        amp = dbm_to_vamp(power_dbm_each)
+        return cls(tones=(Tone(f1, amp), Tone(f2, amp, phase=np.pi / 3)))

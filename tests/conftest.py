@@ -1,0 +1,54 @@
+"""Shared fixtures: one lot of chips and one quick calibration, reused
+across the suite so expensive work happens once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import Calibrator
+from repro.process import ChipFactory
+from repro.receiver import Chip, STANDARDS
+
+
+@pytest.fixture(scope="session")
+def fab():
+    """The reference manufacturing lot."""
+    return ChipFactory(lot_seed=2020)
+
+
+@pytest.fixture(scope="session")
+def hero_chip(fab):
+    """Die 0 of the reference lot (the paper's device under test)."""
+    return Chip(variations=fab.draw(0))
+
+
+@pytest.fixture(scope="session")
+def second_chip(fab):
+    """Another die, for cross-chip experiments."""
+    return Chip(variations=fab.draw(1))
+
+
+@pytest.fixture(scope="session")
+def ref_standard():
+    """The paper's demonstration point: F0 = 3 GHz."""
+    return STANDARDS[0]
+
+
+@pytest.fixture(scope="session")
+def quick_calibration(hero_chip, ref_standard):
+    """Fast calibration of the hero chip (short FFTs, one pass)."""
+    calibrator = Calibrator(n_fft=4096, optimizer_passes=2, sfdr_weight=0.0)
+    return calibrator.calibrate(hero_chip, ref_standard)
+
+
+@pytest.fixture(scope="session")
+def correct_key(quick_calibration):
+    """The hero chip's secret key at the reference standard."""
+    return quick_calibration.config
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,53 @@
+"""Ablation tests: the reproduction's design choices are load-bearing."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestSubstepsConvergence:
+    def test_default_sits_on_plateau(self):
+        result = ablations.substeps_convergence(n_fft=2048)
+        snr = {row[0]: row[1] for row in result.rows}
+        # From 4 substeps up the integrator is converged (within the
+        # measurement-noise wiggle of a short record).
+        assert abs(snr[4] - snr[8]) < 2.0
+        assert abs(snr[6] - snr[8]) < 2.0
+
+
+class TestLogicThresholdAblation:
+    def test_mechanism_isolated(self):
+        result = ablations.logic_threshold_ablation(n_baseband=128)
+        by_threshold = {row[0]: row for row in result.rows}
+        # Correct key indifferent to the threshold.
+        correct = [row[1] for row in result.rows]
+        assert max(correct) - min(correct) < 1.0
+        # Deceptive key survives a 0 V slicer, dies at 0.4 V.
+        assert by_threshold[0.0][2] > by_threshold[0.4][2] + 10.0
+
+
+class TestHysteresisAblation:
+    def test_tail_suppressed_not_correct_key(self):
+        result = ablations.hysteresis_ablation(n_keys=10, n_fft=2048)
+        low, high = result.rows
+        assert high[2] <= low[2]  # fewer deceptive-tail keys
+        assert high[1] > 38.0  # correct key still functional
+
+
+class TestOsrScaling:
+    def test_snr_monotone_in_osr(self):
+        result = ablations.osr_scaling(n_fft=4096)
+        snrs = [row[2] for row in result.rows]
+        assert all(b > a for a, b in zip(snrs, snrs[1:]))
+        # More than flat-noise 3 dB/octave on average.
+        assert (snrs[-1] - snrs[0]) / 3.0 > 4.0
+
+
+def test_run_quick_returns_all():
+    results = ablations.run(quick=True)
+    assert [r.experiment_id for r in results] == [
+        "abl-substeps",
+        "abl-threshold",
+        "abl-hysteresis",
+        "abl-osr",
+    ]

@@ -1,0 +1,154 @@
+"""Baseline locking schemes: each locks/unlocks its own testbench."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiasObfuscationLock,
+    CalibrationLoopLock,
+    CurrentMirrorLock,
+    MemristorBiasLock,
+    MixLock,
+    NeuralBiasLock,
+    TinyMlp,
+)
+
+ALL_BASELINES = [
+    MemristorBiasLock,
+    BiasObfuscationLock,
+    CurrentMirrorLock,
+    MixLock,
+    CalibrationLoopLock,
+    NeuralBiasLock,
+]
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_BASELINES)
+def test_correct_key_unlocks(scheme_cls):
+    scheme = scheme_cls()
+    assert scheme.unlocks(scheme.correct_key)
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_BASELINES)
+def test_random_keys_mostly_fail(scheme_cls, rng):
+    scheme = scheme_cls()
+    assert scheme.lock_effectiveness(16, rng) >= 0.7
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_BASELINES)
+def test_profiles_declare_added_circuitry(scheme_cls):
+    profile = scheme_cls().profile
+    assert profile.added_circuitry
+    assert profile.key_bits > 0
+    assert profile.area_overhead_pct > 0 or profile.power_overhead_pct > 0
+
+
+class TestMemristor:
+    def test_bias_voltage_depends_on_key(self):
+        scheme = MemristorBiasLock()
+        v_ok = scheme.bias_voltage(scheme.correct_key)
+        v_bad = scheme.bias_voltage(scheme.correct_key ^ 0xFF)
+        assert abs(v_ok - v_bad) > scheme.tolerance
+
+    def test_key_range_guard(self):
+        with pytest.raises(ValueError):
+            MemristorBiasLock().bias_voltage(1 << 8)
+
+
+class TestBiasObfuscation:
+    def test_aggregate_width_drives_current(self):
+        scheme = BiasObfuscationLock()
+        i_zero = scheme.branch_current(0)
+        i_full = scheme.branch_current((1 << 8) - 1)
+        assert i_zero == 0.0
+        assert i_full > scheme.branch_current(scheme.correct_key)
+
+    def test_equivalent_width_keys_also_unlock(self):
+        # Any segment combination with the same aggregate width is
+        # functionally correct — the scheme's key space collapses to
+        # width classes (a known weakness).
+        scheme = BiasObfuscationLock()
+        widths = scheme._width(scheme.correct_key)
+        for key in range(1 << 8):
+            if scheme._width(key) == widths:
+                assert scheme.unlocks(key)
+
+
+class TestCurrentMirror:
+    def test_output_current_scales_with_legs(self):
+        scheme = CurrentMirrorLock()
+        assert scheme.output_current(0b000001) < scheme.output_current(0b011111)
+
+    def test_correct_ratio(self):
+        scheme = CurrentMirrorLock()
+        i = scheme.output_current(scheme.correct_key)
+        # ~12x the 50 uA reference, modulo channel-length modulation.
+        assert i == pytest.approx(12 * 50e-6, rel=0.15)
+
+
+class TestMixLockBaseline:
+    def test_wrong_key_breaks_controller(self):
+        scheme = MixLock(n_key_bits=8)
+        assert not scheme.unlocks(scheme.correct_key ^ 0b1)
+
+    def test_sat_attack_breaks_it(self):
+        scheme = MixLock(n_key_bits=6)
+        result = scheme.run_sat_attack()
+        assert scheme.unlocks(result.key)
+        assert result.n_oracle_queries < 32
+
+
+class TestCalibrationLock:
+    def test_sar_converges_with_correct_key(self):
+        scheme = CalibrationLoopLock()
+        assert scheme._run_sar(scheme.correct_key) == scheme.target_code
+
+    def test_single_bit_key_errors_usually_diverge(self):
+        # Some key gates sit on nets unused by a particular trajectory,
+        # so not every flip matters — but most single-bit errors must
+        # derail the SAR search.
+        scheme = CalibrationLoopLock()
+        diverged = sum(
+            scheme._run_sar(scheme.correct_key ^ (1 << i)) != scheme.target_code
+            for i in range(scheme.n_key_bits)
+        )
+        assert diverged >= scheme.n_key_bits // 2
+
+    def test_target_code_guard(self):
+        with pytest.raises(ValueError):
+            CalibrationLoopLock(target_code=64)
+
+
+class TestNeuralBias:
+    def test_training_converged(self):
+        # Global loss includes the unlearnable random decoy corpus; what
+        # must be small is the error at the secret point, checked below.
+        scheme = NeuralBiasLock()
+        assert scheme.training_loss < 0.2
+
+    def test_secret_voltages_produce_biases(self):
+        scheme = NeuralBiasLock()
+        produced = scheme.biases_for_levels(scheme.secret_levels)
+        assert np.allclose(produced, scheme.bias_targets, atol=scheme.tolerance)
+
+    def test_neighbouring_levels_fail(self):
+        scheme = NeuralBiasLock()
+        wrong = list(scheme.secret_levels)
+        wrong[0] = (wrong[0] + 3) % 16
+        word = 0
+        for i, lv in enumerate(wrong):
+            word |= lv << (i * 4)
+        assert not scheme.unlocks(word)
+
+
+class TestTinyMlp:
+    def test_learns_linear_map(self, rng):
+        net = TinyMlp(n_in=2, n_hidden=16, n_out=1, seed=1)
+        x = rng.uniform(-1, 1, (64, 2))
+        y = (0.5 * x[:, :1] - 0.25 * x[:, 1:]) * 0.8
+        loss = net.train(x, y, epochs=1500, learning_rate=0.1)
+        assert loss < 1e-3
+
+    def test_forward_shape(self):
+        net = TinyMlp(n_in=3, n_hidden=4, n_out=2, seed=0)
+        assert net.forward(np.zeros(3)).shape == (1, 2)

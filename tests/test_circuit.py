@@ -1,0 +1,170 @@
+"""MNA engine tests against hand-calculable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Memristor,
+    MnaSolver,
+    Mosfet,
+    Resistor,
+    Vccs,
+    VoltageSource,
+)
+
+
+def divider():
+    c = Circuit("divider")
+    c.add(VoltageSource("V1", "in", "0", dc=1.0, ac=1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Resistor("R2", "out", "0", 3e3))
+    return c
+
+
+class TestNetlist:
+    def test_duplicate_name_rejected(self):
+        c = divider()
+        with pytest.raises(ValueError):
+            c.add(Resistor("R1", "a", "b", 1.0))
+
+    def test_nodes_excludes_ground(self):
+        assert set(divider().nodes()) == {"in", "out"}
+
+    def test_element_lookup_and_replace(self):
+        c = divider()
+        assert c.element("R2").resistance == 3e3
+        c.replace("R2", Resistor("R2", "out", "0", 1e3))
+        assert c.element("R2").resistance == 1e3
+        with pytest.raises(KeyError):
+            c.element("nope")
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("R", "a", "b", -1.0)
+
+    def test_memristor_states(self):
+        on = Memristor("M", "a", "b", r_on=1e3, r_off=1e6, state=1.0)
+        off = Memristor("M2", "a", "b", r_on=1e3, r_off=1e6, state=0.0)
+        assert on.resistance == pytest.approx(1e3, rel=1e-3)
+        assert off.resistance == pytest.approx(1e6, rel=1e-3)
+        with pytest.raises(ValueError):
+            Memristor("M3", "a", "b", state=2.0)
+
+
+class TestDc:
+    def test_divider(self):
+        op = MnaSolver(divider()).dc_operating_point()
+        assert op.v("out") == pytest.approx(0.75, rel=1e-6)
+        assert op.v("0") == 0.0
+
+    def test_source_branch_current(self):
+        op = MnaSolver(divider()).dc_operating_point()
+        assert op.branch_currents["V1"] == pytest.approx(-1.0 / 4e3, rel=1e-6)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit("rl")
+        c.add(VoltageSource("V", "in", "0", dc=2.0))
+        c.add(Resistor("R", "in", "mid", 1e3))
+        c.add(Inductor("L", "mid", "0", 1e-9))
+        op = MnaSolver(c).dc_operating_point()
+        assert op.v("mid") == pytest.approx(0.0, abs=1e-6)
+        assert op.branch_currents["L"] == pytest.approx(2e-3, rel=1e-4)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("ir")
+        c.add(CurrentSource("I", "0", "x", dc=1e-3))
+        c.add(Resistor("R", "x", "0", 2e3))
+        op = MnaSolver(c).dc_operating_point()
+        assert op.v("x") == pytest.approx(2.0, rel=1e-6)
+
+    def test_vccs(self):
+        c = Circuit("gm")
+        c.add(VoltageSource("V", "ctl", "0", dc=0.5))
+        c.add(Vccs("G", "0", "out", "ctl", "0", gm=1e-3))
+        c.add(Resistor("R", "out", "0", 1e3))
+        op = MnaSolver(c).dc_operating_point()
+        assert op.v("out") == pytest.approx(0.5, rel=1e-4)
+
+
+class TestMosDc:
+    def test_saturation_current(self):
+        # Vg=1.0, Vs=0, vth=0.4, kp=2e-4, drain held at 1.2 V: saturated.
+        c = Circuit("sat")
+        c.add(VoltageSource("VG", "g", "0", dc=1.0))
+        c.add(VoltageSource("VD", "d", "0", dc=1.2))
+        c.add(Mosfet("M", "d", "g", "0", kp=2e-4, vth=0.4, lam=0.0))
+        op = MnaSolver(c).dc_operating_point()
+        # I through VD source equals -Id.
+        i_d = -op.branch_currents["VD"]
+        assert i_d == pytest.approx(0.5 * 2e-4 * 0.6**2, rel=1e-3)
+
+    def test_triode_current(self):
+        c = Circuit("triode")
+        c.add(VoltageSource("VG", "g", "0", dc=1.2))
+        c.add(VoltageSource("VD", "d", "0", dc=0.1))
+        c.add(Mosfet("M", "d", "g", "0", kp=1e-4, vth=0.4, lam=0.0))
+        op = MnaSolver(c).dc_operating_point()
+        i_d = -op.branch_currents["VD"]
+        expected = 1e-4 * (0.8 * 0.1 - 0.5 * 0.1**2)
+        assert i_d == pytest.approx(expected, rel=1e-3)
+
+    def test_cutoff(self):
+        mos = Mosfet("M", "d", "g", "s", kp=1e-4, vth=0.5)
+        assert mos.drain_current(vg=0.3, vd=1.0, vs=0.0) == 0.0
+
+    def test_pmos_polarity(self):
+        mos = Mosfet("M", "d", "g", "s", kp=1e-4, vth=0.4, lam=0.0, polarity="pmos")
+        # Source at 1.2, gate at 0.2 -> vsg = 1.0, saturated for vd low.
+        i = mos.drain_current(vg=0.2, vd=0.0, vs=1.2)
+        assert i == pytest.approx(-0.5 * 1e-4 * 0.6**2, rel=1e-3)
+
+    def test_diode_connected_kcl(self):
+        c = Circuit("diode")
+        c.add(VoltageSource("VDD", "vdd", "0", dc=1.2))
+        c.add(Resistor("Rb", "vdd", "d", 10e3))
+        c.add(Mosfet("M1", "d", "d", "0", kp=2e-4, vth=0.4))
+        op = MnaSolver(c).dc_operating_point()
+        vd = op.v("d")
+        lhs = (1.2 - vd) / 10e3
+        rhs = 0.5 * 2e-4 * (vd - 0.4) ** 2 * (1 + 0.02 * vd)
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestAc:
+    def test_rc_corner(self):
+        c = Circuit("rc")
+        c.add(VoltageSource("V", "in", "0", ac=1.0))
+        c.add(Resistor("R", "in", "out", 1e3))
+        c.add(Capacitor("C", "out", "0", 1e-9))
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        ac = MnaSolver(c).ac_analysis(np.array([fc]))
+        assert abs(ac.v("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_rlc_resonance_peak(self):
+        c = Circuit("tank")
+        c.add(CurrentSource("I", "0", "t", ac=1.0))
+        c.add(Resistor("R", "t", "0", 100.0))
+        c.add(Inductor("L", "t", "0", 0.5e-9))
+        c.add(Capacitor("C", "t", "0", 5.63e-12))
+        f0 = 1 / (2 * np.pi * np.sqrt(0.5e-9 * 5.63e-12))
+        freqs = np.linspace(0.8 * f0, 1.2 * f0, 801)
+        ac = MnaSolver(c).ac_analysis(freqs)
+        mag = np.abs(ac.v("t"))
+        assert abs(freqs[np.argmax(mag)] - f0) < 0.002 * f0
+        assert mag.max() == pytest.approx(100.0, rel=0.01)
+
+    def test_mos_smallsignal_gain(self):
+        # Common source: gain = -gm * Rd.
+        c = Circuit("cs")
+        c.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        c.add(VoltageSource("VG", "g", "0", dc=1.0, ac=1.0))
+        c.add(Resistor("Rd", "vdd", "d", 5e3))
+        c.add(Mosfet("M", "d", "g", "0", kp=2e-4, vth=0.4, lam=0.0))
+        op = MnaSolver(c).dc_operating_point()
+        __, gm, __ = c.element("M").small_signal(op.v("g"), op.v("d"), 0.0)
+        ac = MnaSolver(c).ac_analysis(np.array([1e3]), operating_point=op)
+        assert abs(ac.v("d")[0]) == pytest.approx(gm * 5e3, rel=0.02)

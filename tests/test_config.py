@@ -1,0 +1,100 @@
+"""Configuration-word (key) codec tests, including hypothesis roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.receiver import FIELD_SPEC, KEY_BITS, ConfigWord, DigitalConfig
+
+
+def test_register_map_spans_64_bits():
+    assert KEY_BITS == 64
+    assert sum(w for _, w in FIELD_SPEC) == 64
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_encode_decode_roundtrip(word):
+    assert ConfigWord.decode(word).encode() == word
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_bits_roundtrip(word):
+    cfg = ConfigWord.decode(word)
+    assert ConfigWord.from_bits(cfg.to_bits()) == cfg
+
+
+def test_field_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        ConfigWord(lna_gain=16)
+    with pytest.raises(ValueError):
+        ConfigWord(cc_coarse=256)
+    with pytest.raises(ValueError):
+        ConfigWord(fb_en=2)
+
+
+def test_non_integer_field_rejected():
+    with pytest.raises(TypeError):
+        ConfigWord(lna_gain=1.5)
+
+
+def test_decode_out_of_range():
+    with pytest.raises(ValueError):
+        ConfigWord.decode(1 << 64)
+    with pytest.raises(ValueError):
+        ConfigWord.decode(-1)
+
+
+def test_replace_changes_only_named_fields():
+    a = ConfigWord(cc_coarse=10, gmin_code=20)
+    b = a.replace(gmin_code=30)
+    assert b.gmin_code == 30
+    assert b.cc_coarse == 10
+    assert a.gmin_code == 20  # immutable original
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=8))
+def test_flip_bits_involution(positions):
+    cfg = ConfigWord(cc_coarse=42, cf_fine=99)
+    flipped = cfg.flip_bits(list(positions))
+    assert flipped.hamming_distance(cfg) == len(positions)
+    assert flipped.flip_bits(list(positions)) == cfg
+
+
+def test_flip_bits_accepts_numpy_ints():
+    cfg = ConfigWord()
+    out = cfg.flip_bits([np.int64(63)])
+    assert out.hamming_distance(cfg) == 1
+
+
+def test_flip_bits_out_of_range():
+    with pytest.raises(ValueError):
+        ConfigWord().flip_bits([64])
+
+
+def test_field_bit_range_partition():
+    spans = [ConfigWord.field_bit_range(name) for name, _ in FIELD_SPEC]
+    assert spans[0][0] == 0
+    for (lo1, hi1), (lo2, __) in zip(spans, spans[1:]):
+        assert hi1 == lo2
+    assert spans[-1][1] == 64
+    with pytest.raises(KeyError):
+        ConfigWord.field_bit_range("nonexistent")
+
+
+def test_random_keys_differ(rng):
+    keys = {ConfigWord.random(rng).encode() for _ in range(50)}
+    assert len(keys) == 50
+
+
+def test_random_covers_full_width(rng):
+    # Over many draws every bit position should appear set at least once.
+    seen = 0
+    for _ in range(200):
+        seen |= ConfigWord.random(rng).encode()
+    assert seen == (1 << 64) - 1
+
+
+def test_digital_config_range():
+    DigitalConfig(standard_select=7)
+    with pytest.raises(ValueError):
+        DigitalConfig(standard_select=8)

@@ -1,0 +1,135 @@
+"""FIR design and decimation-chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    CicDecimator,
+    DecimationChain,
+    FirDecimator,
+    design_cic_compensator,
+    design_halfband,
+    design_lowpass,
+    freq_response,
+    fs4_mixer_sequences,
+    periodogram,
+    sine,
+)
+from repro.dsp.tones import coherent_frequency
+
+
+class TestFirDesign:
+    def test_lowpass_dc_gain_unity(self):
+        taps = design_lowpass(63, 0.1, 1.0)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_lowpass_passband_and_stopband(self):
+        fs = 1.0
+        taps = design_lowpass(101, 0.1, fs)
+        h = np.abs(freq_response(taps, np.array([0.02, 0.3]), fs))
+        assert h[0] == pytest.approx(1.0, abs=0.01)
+        assert h[1] < 0.01
+
+    def test_lowpass_guards(self):
+        with pytest.raises(ValueError):
+            design_lowpass(2, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            design_lowpass(11, 0.6, 1.0)
+
+    def test_halfband_alternate_zeros(self):
+        taps = design_halfband(31)
+        centre = 15
+        for i in range(31):
+            if i != centre and (i - centre) % 2 == 0:
+                assert taps[i] == 0.0
+
+    def test_halfband_length_guard(self):
+        with pytest.raises(ValueError):
+            design_halfband(30)
+
+    def test_cic_compensator_flattens_droop(self):
+        from repro.dsp.filters import _cic_droop
+
+        taps = design_cic_compensator(33, cic_order=4, cic_rate=16)
+        # The receiver band occupies only the bottom ~6% of the post-CIC
+        # Nyquist range; require tight flatness there and reasonable
+        # flatness across most of the design passband.
+        freqs = np.linspace(0.01, 0.12, 12)
+        comp = np.abs(freq_response(taps, freqs, 1.0))
+        combined = comp * np.array([_cic_droop(f, 4, 16) for f in freqs])
+        assert np.max(np.abs(20 * np.log10(combined))) < 0.5
+        uncompensated = _cic_droop(0.12, 4, 16)
+        assert abs(20 * np.log10(uncompensated)) > 0.5  # droop was real
+
+    def test_compensator_odd_length_guard(self):
+        with pytest.raises(ValueError):
+            design_cic_compensator(32, 4, 16)
+
+
+class TestCic:
+    def test_dc_gain_normalised(self):
+        cic = CicDecimator(rate=16, order=4)
+        out = cic.process(np.ones(1024))
+        assert out[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_decimation_length(self):
+        cic = CicDecimator(rate=8, order=3)
+        assert cic.process(np.zeros(800)).size == 100
+
+    def test_raw_gain(self):
+        assert CicDecimator(rate=16, order=4).gain == 16**4
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            CicDecimator(rate=1)
+        with pytest.raises(ValueError):
+            CicDecimator(rate=4, order=0)
+
+
+class TestChain:
+    def test_total_rate(self):
+        chain = DecimationChain(osr=64, cic_rate=16)
+        out = chain.process(np.zeros(64 * 100))
+        assert out.size == pytest.approx(100, abs=1)
+
+    def test_inband_tone_preserved(self):
+        fs = 12e9
+        chain = DecimationChain(osr=64)
+        n = 64 * 512
+        f = coherent_frequency(20e6, fs, n)
+        out = chain.process(sine(n, fs, f, 1.0))
+        spec = periodogram(out[32:], fs / 64)
+        assert spec.tone_power(f) == pytest.approx(0.5, rel=0.15)
+
+    def test_out_of_band_tone_suppressed(self):
+        fs = 12e9
+        chain = DecimationChain(osr=64)
+        n = 64 * 512
+        f = coherent_frequency(2e9, fs, n)
+        out = chain.process(sine(n, fs, f, 1.0))
+        assert float(np.mean(np.abs(out[64:]) ** 2)) < 1e-4
+
+    def test_complex_stream(self):
+        chain = DecimationChain(osr=64)
+        out = chain.process(np.ones(6400) * (1 + 1j))
+        assert np.iscomplexobj(out)
+
+    def test_invalid_osr(self):
+        with pytest.raises(ValueError):
+            DecimationChain(osr=48, cic_rate=16)
+
+
+def test_fs4_mixer_sequences():
+    i, q = fs4_mixer_sequences(10)
+    assert list(i[:4]) == [1.0, 0.0, -1.0, 0.0]
+    assert list(q[:4]) == [0.0, -1.0, 0.0, 1.0]
+    assert i.size == q.size == 10
+    # I and Q are orthogonal.
+    assert float(np.dot(i, q)) == 0.0
+
+
+def test_fir_decimator_same_alignment():
+    fir = FirDecimator(taps=np.array([0.25, 0.5, 0.25]), rate=2)
+    out = fir.process(np.ones(64))
+    assert out.size == 32
+    assert out[5] == pytest.approx(1.0)

@@ -1,0 +1,104 @@
+"""SNR/SFDR/THD metric tests on synthetic signals with known answers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    SNR_FLOOR_DB,
+    band_snr,
+    enob,
+    periodogram,
+    sine,
+    snr_from_samples,
+    thd,
+    two_tone,
+    two_tone_sfdr,
+)
+from repro.dsp.tones import coherent_frequency
+
+FS = 1e6
+N = 8192
+
+
+def test_snr_matches_theory(rng):
+    f = coherent_frequency(100e3, FS, N)
+    sigma = 0.01
+    x = sine(N, FS, f, 1.0) + rng.normal(0, sigma, N)
+    m = snr_from_samples(x, FS, f, 50e3, 150e3)
+    # In-band noise = sigma^2 * band/(fs/2); signal = 0.5.
+    theory = 10 * np.log10(0.5 / (sigma**2 * 100e3 / (FS / 2)))
+    assert m.snr_db == pytest.approx(theory, abs=1.0)
+
+
+def test_snr_counts_inband_harmonics_as_noise(rng):
+    # A second in-band tone must degrade the reported SNR (SNDR-style),
+    # matching the paper's usage.
+    f = coherent_frequency(100e3, FS, N)
+    f_spur = coherent_frequency(120e3, FS, N)
+    x = sine(N, FS, f, 1.0) + sine(N, FS, f_spur, 0.1) + rng.normal(0, 1e-4, N)
+    m = snr_from_samples(x, FS, f, 50e3, 150e3)
+    assert m.snr_db == pytest.approx(10 * np.log10(0.5 / 0.005), abs=0.5)
+
+
+def test_dead_signal_reports_floor():
+    x = np.zeros(N)
+    m = snr_from_samples(x, FS, 100e3, 50e3, 150e3)
+    assert m.snr_db == SNR_FLOOR_DB
+
+
+def test_noiseless_signal_reports_ceiling():
+    f = coherent_frequency(100e3, FS, N)
+    m = snr_from_samples(sine(N, FS, f, 1.0), FS, f, 99e3, 101e3)
+    assert m.snr_db > 100.0
+
+
+def test_band_snr_empty_band_rejected():
+    spec = periodogram(np.ones(N), FS)
+    with pytest.raises(ValueError):
+        band_snr(spec, 100e3, 2e6, 3e6)
+
+
+class TestSfdr:
+    def test_known_im3(self, rng):
+        f1 = coherent_frequency(100e3, FS, N)
+        f2 = coherent_frequency(110e3, FS, N)
+        f_im3 = 2 * f1 - f2
+        x = (
+            two_tone(N, FS, f1, f2, 1.0)
+            + sine(N, FS, f_im3, 0.01)
+            + rng.normal(0, 1e-5, N)
+        )
+        m = two_tone_sfdr(periodogram(x, FS), f1, f2, 50e3, 150e3)
+        # IM3 at -40 dBc is the dominant spur.
+        assert m.sfdr_db == pytest.approx(40.0, abs=1.0)
+        assert m.im3_db == pytest.approx(40.0, abs=1.0)
+        assert abs(m.worst_spur_frequency - f_im3) < 2 * FS / N
+
+    def test_clean_two_tone_high_sfdr(self, rng):
+        f1 = coherent_frequency(100e3, FS, N)
+        f2 = coherent_frequency(110e3, FS, N)
+        x = two_tone(N, FS, f1, f2, 1.0) + rng.normal(0, 1e-5, N)
+        m = two_tone_sfdr(periodogram(x, FS), f1, f2, 50e3, 150e3)
+        assert m.sfdr_db > 55.0
+
+    def test_fundamental_shoulders_not_counted_as_spurs(self):
+        # Closely spaced coherent tones: the Hann main-lobe shoulders of
+        # each fundamental must not appear as spurs (regression test for
+        # the short-FFT SFDR bug).
+        n = 2048
+        f1 = coherent_frequency(100e3, FS, n)
+        f2 = f1 + 4 * FS / n  # 4 bins away
+        x = two_tone(n, FS, f1, f2, 1.0)
+        m = two_tone_sfdr(periodogram(x, FS), f1, f2, 50e3, 150e3, search_bins=1)
+        assert m.sfdr_db > 35.0
+
+
+def test_thd_of_clipped_sine(rng):
+    f = coherent_frequency(50e3, FS, N)
+    clean = sine(N, FS, f, 1.0)
+    clipped = np.clip(clean, -0.8, 0.8)
+    assert thd(periodogram(clipped, FS), f) > thd(periodogram(clean, FS), f)
+
+
+def test_enob_definition():
+    assert enob(1.76 + 6.02 * 12) == pytest.approx(12.0)

@@ -1,0 +1,67 @@
+"""Unit-conversion tests: dBm/volt/watt identities and guards."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import units
+
+
+def test_dbm_to_watt_known_points():
+    assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+    assert units.dbm_to_watt(30.0) == pytest.approx(1.0)
+    assert units.dbm_to_watt(-30.0) == pytest.approx(1e-6)
+
+
+def test_watt_to_dbm_inverse():
+    assert units.watt_to_dbm(1e-3) == pytest.approx(0.0)
+
+
+def test_watt_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.watt_to_dbm(0.0)
+
+
+def test_dbm_to_vamp_paper_stimulus():
+    # -25 dBm in 50 ohm is a ~17.8 mV amplitude sinusoid.
+    assert units.dbm_to_vamp(-25.0) == pytest.approx(17.78e-3, rel=1e-3)
+
+
+def test_vrms_vs_vamp_sqrt2():
+    assert units.dbm_to_vamp(-10.0) == pytest.approx(
+        units.dbm_to_vrms(-10.0) * math.sqrt(2.0)
+    )
+
+
+@given(st.floats(min_value=-80.0, max_value=30.0))
+def test_dbm_vamp_roundtrip(dbm):
+    assert units.vamp_to_dbm(units.dbm_to_vamp(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(st.floats(min_value=1e-12, max_value=1e6))
+def test_db_undb_roundtrip(ratio):
+    assert units.undb(units.db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6))
+def test_db_amplitude_is_twice_power_db(ratio):
+    assert units.db_amplitude(ratio) == pytest.approx(2.0 * units.db(ratio), rel=1e-9)
+
+
+def test_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.db(0.0)
+    with pytest.raises(ValueError):
+        units.db_amplitude(-1.0)
+
+
+def test_thermal_noise_power_ktb():
+    # kTB at 290 K over 1 Hz is ~4.0e-21 W (-174 dBm/Hz).
+    p = units.thermal_noise_power(1.0)
+    assert units.watt_to_dbm(p) == pytest.approx(-173.98, abs=0.05)
+
+
+def test_thermal_noise_rejects_negative_bandwidth():
+    with pytest.raises(ValueError):
+        units.thermal_noise_power(-1.0)

@@ -1,0 +1,109 @@
+"""Window calibration and spectrum power-accounting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import make_window, periodogram, sine, welch_psd
+from repro.dsp.tones import coherent_frequency
+
+
+class TestWindows:
+    def test_hann_noise_bandwidth(self):
+        info = make_window("hann", 4096)
+        assert info.noise_bandwidth_bins == pytest.approx(1.5, rel=1e-3)
+
+    def test_rect_window_is_flat(self):
+        info = make_window("rect", 64)
+        assert np.all(info.samples == 1.0)
+        assert info.coherent_gain == pytest.approx(1.0)
+        assert info.noise_bandwidth_bins == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["rect", "hann", "hamming", "blackman", "blackmanharris"])
+    def test_coherent_gain_is_mean(self, name):
+        info = make_window(name, 512)
+        assert info.coherent_gain == pytest.approx(float(np.mean(info.samples)))
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_window("kaiser", 64)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_window("hann", 0)
+
+
+class TestPeriodogramCalibration:
+    def test_tone_power_recovered_exactly(self):
+        fs, n = 1e6, 4096
+        f = coherent_frequency(100e3, fs, n)
+        spec = periodogram(sine(n, fs, f, amplitude=2.0), fs)
+        # Tone power of a 2 V cosine is 2 V^2.
+        assert spec.tone_power(f) == pytest.approx(2.0, rel=1e-6)
+
+    def test_white_noise_band_power(self, rng):
+        fs, n = 1e6, 1 << 15
+        sigma = 0.3
+        spec = periodogram(rng.normal(0.0, sigma, n), fs)
+        total = spec.band_power(0.0, fs / 2)
+        assert total == pytest.approx(sigma**2, rel=0.05)
+        # A quarter of the band holds a quarter of the power.
+        quarter = spec.band_power(0.0, fs / 8)
+        assert quarter == pytest.approx(sigma**2 / 4, rel=0.1)
+
+    def test_complex_input_two_sided(self):
+        fs, n = 1e6, 4096
+        f = coherent_frequency(150e3, fs, n)
+        t = np.arange(n) / fs
+        spec = periodogram(0.5 * np.exp(2j * np.pi * f * t), fs)
+        assert spec.freqs[0] < 0  # two-sided
+        assert spec.tone_power(f) == pytest.approx(0.25, rel=1e-6)
+        # Negative frequency side holds no power for an analytic signal.
+        assert spec.band_power(-fs / 2, -1.0) < 1e-12
+
+    def test_psd_db_floor(self):
+        fs, n = 1e6, 1024
+        spec = periodogram(np.zeros(n), fs)
+        assert np.all(spec.psd_db() >= -250.0)
+
+    def test_minimum_length_guard(self):
+        with pytest.raises(ValueError):
+            periodogram(np.zeros(4), 1.0)
+
+    @given(amp=st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_tone_power_scales_with_amplitude(self, amp):
+        fs, n = 1e6, 2048
+        f = coherent_frequency(200e3, fs, n)
+        spec = periodogram(sine(n, fs, f, amp), fs)
+        assert spec.tone_power(f) == pytest.approx(amp**2 / 2, rel=1e-6)
+
+
+class TestWelch:
+    def test_welch_matches_periodogram_noise_level(self, rng):
+        fs, n = 1e6, 1 << 14
+        x = rng.normal(0.0, 1.0, n)
+        spec = welch_psd(x, fs, segment_length=1024)
+        assert spec.band_power(0, fs / 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_welch_segment_too_long(self):
+        with pytest.raises(ValueError):
+            welch_psd(np.zeros(100), 1.0, segment_length=200)
+
+    def test_welch_bad_overlap(self):
+        with pytest.raises(ValueError):
+            welch_psd(np.zeros(4096), 1.0, segment_length=256, overlap=1.0)
+
+
+class TestSpectrumQueries:
+    def test_band_indices_and_peak(self):
+        fs, n = 1e6, 4096
+        f = coherent_frequency(100e3, fs, n)
+        spec = periodogram(sine(n, fs, f, 1.0), fs)
+        peak = spec.peak_index(50e3, 150e3)
+        assert abs(spec.freqs[peak] - f) < spec.bin_width
+
+    def test_peak_index_empty_band(self):
+        spec = periodogram(np.ones(1024), 1e6)
+        with pytest.raises(ValueError):
+            spec.peak_index(2e6, 3e6)

@@ -1,0 +1,134 @@
+"""Key-management tests: tamper memory, PUF, provisioning, toy RSA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.keymgmt import (
+    ArbiterPuf,
+    PufXorScheme,
+    RemoteActivator,
+    TamperError,
+    TamperMemoryScheme,
+    TamperProofMemory,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    inter_chip_uniqueness,
+    intra_chip_stability,
+    is_probable_prime,
+)
+from repro.receiver import ConfigWord
+
+CONFIGS = {0: ConfigWord(cc_coarse=6, cf_fine=62, gmin_code=24), 5: ConfigWord(lna_gain=9)}
+
+
+class TestTamperMemory:
+    def test_store_load_roundtrip(self):
+        mem = TamperProofMemory(chip_id=0)
+        mem.store(2, CONFIGS[0])
+        assert mem.load(2) == CONFIGS[0]
+        assert mem.stored_modes() == [2]
+
+    def test_missing_mode(self):
+        with pytest.raises(KeyError):
+            TamperProofMemory(chip_id=0).load(1)
+
+    def test_raw_read_zeroises(self):
+        mem = TamperProofMemory(chip_id=0)
+        mem.store(0, CONFIGS[0])
+        with pytest.raises(TamperError):
+            mem.raw_read_attempt()
+        assert mem.zeroised
+        with pytest.raises(TamperError):
+            mem.load(0)
+
+    def test_index_range(self):
+        with pytest.raises(ValueError):
+            TamperProofMemory(chip_id=0).store(8, CONFIGS[0])
+
+
+class TestPuf:
+    def test_deterministic_fingerprint(self):
+        a = ArbiterPuf(chip_id=4)
+        b = ArbiterPuf(chip_id=4)
+        challenge = np.ones(64, dtype=int)
+        assert a.response_bit_voted(challenge) == b.response_bit_voted(challenge)
+
+    def test_chips_differ(self):
+        pufs = [ArbiterPuf(chip_id=i) for i in range(6)]
+        uniqueness = inter_chip_uniqueness(pufs, n_bits=32)
+        assert 0.3 < uniqueness < 0.7
+
+    def test_voted_responses_stable(self):
+        assert intra_chip_stability(ArbiterPuf(chip_id=1), n_bits=32) > 0.95
+
+    def test_challenge_width_guard(self):
+        with pytest.raises(ValueError):
+            ArbiterPuf(chip_id=0).response_bit(np.ones(10))
+
+    def test_response_word_width(self):
+        word = ArbiterPuf(chip_id=2).response_word(0x1234, n_bits=64)
+        assert 0 <= word < (1 << 64)
+
+
+class TestProvisioningSchemes:
+    def test_tamper_scheme_roundtrip(self):
+        scheme = TamperMemoryScheme(chip_id=1)
+        scheme.provision(CONFIGS)
+        assert scheme.configuration_for_mode(0) == CONFIGS[0]
+        assert scheme.configuration_for_mode(5) == CONFIGS[5]
+
+    def test_puf_xor_roundtrip(self):
+        scheme = PufXorScheme(ArbiterPuf(chip_id=7))
+        user_keys = scheme.enroll(CONFIGS)
+        scheme.power_on(user_keys)
+        assert scheme.configuration_for_mode(0) == CONFIGS[0]
+
+    def test_user_keys_hide_configs(self):
+        scheme = PufXorScheme(ArbiterPuf(chip_id=7))
+        user_keys = scheme.enroll(CONFIGS)
+        # The user key is not the configuration itself.
+        assert user_keys[0] != CONFIGS[0].encode()
+
+    def test_recycling_protection(self):
+        scheme = PufXorScheme(ArbiterPuf(chip_id=7))
+        scheme.power_on(scheme.enroll(CONFIGS))
+        scheme.power_off()
+        with pytest.raises(KeyError):
+            scheme.configuration_for_mode(0)
+
+    def test_wrong_chip_user_keys_fail(self):
+        keys_for_7 = PufXorScheme(ArbiterPuf(chip_id=7)).enroll(CONFIGS)
+        scheme8 = PufXorScheme(ArbiterPuf(chip_id=8))
+        scheme8.power_on(keys_for_7)
+        assert scheme8.configuration_for_mode(0) != CONFIGS[0]
+
+    def test_remote_activation(self):
+        activator = RemoteActivator(chip_id=3, rsa_bits=128)
+        ciphertexts = RemoteActivator.design_house_encrypt(
+            CONFIGS, activator.public_key
+        )
+        # Ciphertexts do not leak the plaintext words.
+        assert ciphertexts[0] != CONFIGS[0].encode()
+        activator.activate(ciphertexts)
+        assert activator.configuration_for_mode(0) == CONFIGS[0]
+
+
+class TestToyRsa:
+    def test_known_primes(self, rng):
+        for p in (101, 257, 65537):
+            assert is_probable_prime(p, rng)
+        for n in (1, 100, 65535):
+            assert not is_probable_prime(n, rng)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_encrypt_decrypt_roundtrip(self, message):
+        keypair = generate_keypair(bits=128, seed=42)
+        assert decrypt(encrypt(message, keypair.public), keypair) == message
+
+    def test_message_range_guard(self):
+        keypair = generate_keypair(bits=128, seed=42)
+        with pytest.raises(ValueError):
+            encrypt(keypair.n, keypair.public)

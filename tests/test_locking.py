@@ -1,0 +1,126 @@
+"""Locking-scheme and metric tests (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.locking import (
+    PerformanceSpec,
+    ProgrammabilityLock,
+    avalanche_study,
+    capacitor_subkey_uniqueness,
+    key_population_study,
+    key_space_analysis,
+)
+from repro.locking.metrics import structural_unlocking_bound
+from repro.receiver import ConfigWord
+
+
+class TestSpecs:
+    def test_spec_derivation(self, ref_standard):
+        spec = PerformanceSpec.for_standard(ref_standard)
+        assert spec.snr_min_db == ref_standard.snr_spec_db
+        assert spec.snr_rx_min_db < spec.snr_min_db
+
+    def test_meets_checks_only_provided(self, ref_standard):
+        spec = PerformanceSpec.for_standard(ref_standard)
+        assert spec.meets(snr_db=spec.snr_min_db + 1)
+        assert not spec.meets(snr_db=spec.snr_min_db - 1)
+        assert spec.meets(snr_db=spec.snr_min_db + 1, sfdr_db=None)
+        assert not spec.meets(
+            snr_db=spec.snr_min_db + 1, sfdr_db=spec.sfdr_min_db - 1
+        )
+
+
+class TestProgrammabilityLock:
+    @pytest.fixture(scope="class")
+    def lock(self, hero_chip, quick_calibration, ref_standard):
+        lock = ProgrammabilityLock(chip=hero_chip)
+        lock._lut[ref_standard.index] = quick_calibration
+        return lock
+
+    def test_key_for_provisioned_standard(self, lock, ref_standard, correct_key):
+        assert lock.key_for(ref_standard) == correct_key
+
+    def test_unprovisioned_standard_rejected(self, lock):
+        from repro.receiver import STANDARDS
+
+        with pytest.raises(KeyError):
+            lock.key_for(STANDARDS[3])
+
+    def test_correct_key_unlocks(self, lock, ref_standard, correct_key):
+        evaluation = lock.evaluate_key(correct_key, ref_standard, n_fft=4096)
+        assert evaluation.unlocked
+        assert evaluation.snr_db > 38.0
+
+    def test_random_key_locks(self, lock, ref_standard, rng):
+        evaluation = lock.evaluate_key(
+            ConfigWord.random(rng), ref_standard, n_fft=2048
+        )
+        assert not evaluation.unlocked
+
+    def test_overheads_are_zero(self):
+        overhead = ProgrammabilityLock.overhead_summary()
+        assert all(v == 0.0 for v in overhead.values())
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def study(self, hero_chip, correct_key, ref_standard):
+        return key_population_study(
+            hero_chip,
+            correct_key,
+            ref_standard,
+            n_keys=12,
+            rng=np.random.default_rng(7),
+            n_fft=2048,
+        )
+
+    def test_population_shape(self, study):
+        assert study.invalid_snrs_db.size == 12
+        assert study.correct_snr_db > study.max_invalid_db
+
+    def test_deceptive_key_is_argmax(self, study):
+        idx = study.deceptive_index
+        assert study.invalid_snrs_db[idx] == study.max_invalid_db
+        assert study.keys[idx] == study.deceptive_key
+
+    def test_counting_helpers(self, study):
+        assert study.count_above(-1000.0) == 12
+        assert study.count_above(1000.0) == 0
+        assert 0.0 <= study.fraction_unlocking(40.0) <= 1.0
+
+    def test_avalanche_degrades_with_distance(
+        self, hero_chip, correct_key, ref_standard
+    ):
+        points = avalanche_study(
+            hero_chip,
+            correct_key,
+            ref_standard,
+            distances=(1, 16),
+            trials_per_distance=4,
+            n_fft=2048,
+        )
+        correct_snr = 40.0
+        assert points[1].mean_snr_db < correct_snr - 10.0
+        assert points[0].max_snr_db >= points[0].min_snr_db
+
+    def test_key_space_analysis_rule_of_three(self, study):
+        analysis = key_space_analysis(study, spec_db=40.0)
+        assert analysis.total_keys == 1 << 64
+        assert analysis.upper_bound_fraction >= 3.0 / 12
+        assert analysis.expected_trials == pytest.approx(
+            1.0 / analysis.upper_bound_fraction
+        )
+
+    def test_structural_bound_is_tiny(self, hero_chip, correct_key):
+        bound = structural_unlocking_bound(hero_chip, correct_key)
+        assert 0.0 < bound < 1e-4
+
+    def test_capacitor_subkey_near_unique(self, hero_chip, correct_key):
+        tank = hero_chip.blocks.tank
+        target = tank.capacitance(correct_key.cc_coarse, correct_key.cf_fine)
+        count = capacitor_subkey_uniqueness(hero_chip, target)
+        # Unique up to coarse/fine overlap degeneracy: a couple of dozen
+        # at most out of 65536 pairs (the fine array deliberately
+        # over-ranges the coarse LSB).
+        assert 1 <= count <= 24

@@ -1,0 +1,60 @@
+"""Process-variation model tests: determinism, uniqueness, neutrality."""
+
+import numpy as np
+import pytest
+
+from repro.process import ChipFactory, ProcessModel, typical_chip
+
+
+def test_draws_are_deterministic():
+    a = ChipFactory(lot_seed=7).draw(3)
+    b = ChipFactory(lot_seed=7).draw(3)
+    assert a.summary() == b.summary()
+    assert np.array_equal(a.coarse_unit_scales, b.coarse_unit_scales)
+
+
+def test_chips_are_unique():
+    fab = ChipFactory(lot_seed=7)
+    a, b = fab.draw(0), fab.draw(1)
+    assert a.summary() != b.summary()
+
+
+def test_lots_are_unique():
+    a = ChipFactory(lot_seed=1).draw(0)
+    b = ChipFactory(lot_seed=2).draw(0)
+    assert a.summary() != b.summary()
+
+
+def test_typical_chip_is_neutral():
+    t = typical_chip()
+    assert t.inductor_scale == 1.0
+    assert t.comp_offset == 0.0
+    assert np.all(t.coarse_unit_scales == 1.0)
+    assert np.all(t.lna_stage_gain_err_db == 0.0)
+
+
+def test_scales_within_three_sigma():
+    model = ProcessModel()
+    fab = ChipFactory(lot_seed=11, model=model)
+    for cid in range(40):
+        v = fab.draw(cid)
+        assert abs(v.inductor_scale - 1.0) <= 3 * model.inductor_sigma + 1e-12
+        assert abs(v.c_fixed_scale - 1.0) <= 3 * model.c_fixed_sigma + 1e-12
+        assert np.all(
+            np.abs(v.coarse_unit_scales - 1.0) <= 3 * model.unit_cap_sigma + 1e-12
+        )
+
+
+def test_batch_matches_individual_draws():
+    fab = ChipFactory(lot_seed=5)
+    batch = fab.batch(4)
+    assert [v.chip_id for v in batch] == [0, 1, 2, 3]
+    assert batch[2].summary() == fab.draw(2).summary()
+
+
+def test_population_statistics(rng):
+    # Across many chips the mean scale should hover near 1.
+    fab = ChipFactory(lot_seed=3)
+    scales = [fab.draw(i).gmin_scale for i in range(100)]
+    assert np.mean(scales) == pytest.approx(1.0, abs=0.03)
+    assert np.std(scales) == pytest.approx(ProcessModel().gm_sigma, rel=0.4)

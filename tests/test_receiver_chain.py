@@ -1,0 +1,99 @@
+"""Digital chain and full-receiver tests: slicer, mixer, decimation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import periodogram, sine
+from repro.dsp.tones import coherent_frequency
+from repro.receiver import (
+    Chip,
+    DigitalChain,
+    STANDARDS,
+    standard_by_index,
+    standard_by_name,
+)
+
+STD = STANDARDS[0]
+
+
+class TestSlicer:
+    def test_full_swing_bitstream_passes(self):
+        chain = DigitalChain(osr=64, logic_threshold=0.4)
+        bits = np.tile([1.0, -1.0], 32)
+        assert np.array_equal(chain.slice_input(bits * 0.9), bits)
+
+    def test_small_analog_waveform_sticks(self):
+        chain = DigitalChain(osr=64, logic_threshold=0.4)
+        analog = 0.2 * np.sin(np.linspace(0, 10 * np.pi, 64))
+        assert np.all(chain.slice_input(analog) == -1.0)
+
+
+class TestChain:
+    def test_synthetic_tone_demodulates(self):
+        # A +/-1 stream carrying a tone at fs/4 + delta should appear at
+        # +delta in the complex baseband with roughly unit-scaled power.
+        fs = STD.fs
+        n = 64 * 512
+        delta = coherent_frequency(15e6, fs, n)
+        carrier = sine(n, fs, fs / 4 + delta, 0.5)
+        stream = np.where(carrier + 0.3 * np.sin(np.arange(n)) >= 0, 1.0, -1.0)
+        chain = DigitalChain(osr=64, logic_threshold=0.0)
+        res = chain.process(stream, fs)
+        assert res.fs_out == pytest.approx(fs / 64)
+        spec = periodogram(res.baseband[32:], res.fs_out)
+        peak = spec.peak_index(5e6, 40e6)
+        assert abs(spec.freqs[peak] - delta) < 3 * spec.bin_width
+
+    def test_output_length(self):
+        chain = DigitalChain(osr=64)
+        res = chain.process(np.ones(64 * 100), STD.fs)
+        assert res.baseband.size == pytest.approx(100, abs=1)
+        assert np.iscomplexobj(res.baseband)
+
+
+class TestReceiverEndToEnd:
+    def test_receiver_snr_for_synthesised_key(self):
+        from repro.receiver import ConfigWord, measure_receiver_snr
+
+        chip = Chip()
+        tank = chip.blocks.tank
+        best = min(
+            ((cc, cf) for cc in range(0, 16) for cf in range(0, 256, 8)),
+            key=lambda p: abs(tank.resonance_frequency(*p) - STD.f_center),
+        )
+        key = ConfigWord(
+            lna_gain=7,
+            cc_coarse=best[0],
+            cf_fine=best[1],
+            gmq_code=tank.critical_gmq_code(*best) - 1,
+            gmin_code=24,
+            preamp_code=20,
+            comp_code=31,
+            dac_code=32,
+            delay_code=12,
+            buffer_code=4,
+        )
+        m = measure_receiver_snr(chip, key, STD, n_baseband=256, seed=1)
+        assert m.snr_db > 30.0
+
+
+class TestStandards:
+    def test_fs_is_four_f0(self):
+        for std in STANDARDS:
+            assert std.fs == pytest.approx(4 * std.f_center)
+
+    def test_unique_indices(self):
+        assert len({s.index for s in STANDARDS}) == len(STANDARDS)
+
+    def test_frequency_coverage(self):
+        freqs = [s.f_center for s in STANDARDS]
+        assert min(freqs) >= 1.5e9
+        assert max(freqs) <= 3.0e9
+
+    def test_lookups(self):
+        assert standard_by_name("bluetooth").f_center == pytest.approx(2.441e9)
+        assert standard_by_index(0).name == "REF3000"
+        with pytest.raises(KeyError):
+            standard_by_name("lorawan")
+        with pytest.raises(KeyError):
+            standard_by_index(9)

@@ -1,0 +1,165 @@
+"""Sigma-delta modulator engine tests: modulation, noise shaping,
+loop-topology enables, oscillation mode, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import periodogram
+from repro.receiver import (
+    Chip,
+    ConfigWord,
+    STANDARDS,
+    ToneStimulus,
+    measure_modulator_snr,
+    oscillation_config,
+    signal_band,
+    stimulus_frequency,
+)
+
+STD = STANDARDS[0]
+N = 2048
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return Chip()
+
+
+@pytest.fixture(scope="module")
+def working_key(chip):
+    tank = chip.blocks.tank
+    # Direct synthesis of a working configuration on the typical chip.
+    best = min(
+        ((cc, cf) for cc in range(0, 16) for cf in range(0, 256, 8)),
+        key=lambda p: abs(tank.resonance_frequency(*p) - STD.f_center),
+    )
+    gmq = tank.critical_gmq_code(*best) - 1
+    return ConfigWord(
+        lna_gain=7,
+        cc_coarse=best[0],
+        cf_fine=best[1],
+        gmq_code=gmq,
+        gmin_code=24,
+        preamp_code=20,
+        comp_code=31,
+        dac_code=32,
+        delay_code=12,
+        buffer_code=4,
+    )
+
+
+def _stim(n=N):
+    return ToneStimulus.single(stimulus_frequency(STD, 64, n), -25.0)
+
+
+class TestModulation:
+    def test_bitstream_is_two_level(self, chip, working_key):
+        res = chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=N)
+        assert res.is_bitstream
+        assert set(np.unique(res.bits)) == {-1.0, 1.0}
+
+    def test_working_key_snr(self, chip, working_key):
+        m = measure_modulator_snr(chip, working_key, STD, n_fft=4096, seed=1)
+        assert m.snr_db > 38.0
+
+    def test_noise_shaping_notch(self, chip, working_key):
+        res = chip.simulate_modulator(
+            working_key.replace(gmin_en=0), ToneStimulus.off(), STD.fs, n_samples=8192
+        )
+        spec = periodogram(res.output, STD.fs)
+        f_lo, f_hi = signal_band(STD, 64)
+        width = f_hi - f_lo
+        inband = spec.band_power(f_lo, f_hi)
+        shoulder = spec.band_power(f_hi + 2 * width, f_hi + 3 * width)
+        assert 10 * np.log10(shoulder / inband) > 10.0
+
+    def test_deterministic_given_seed(self, chip, working_key):
+        a = chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=256, seed=5)
+        b = chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=256, seed=5)
+        assert np.array_equal(a.output, b.output)
+
+    def test_seed_changes_noise(self, chip, working_key):
+        a = chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=256, seed=5)
+        b = chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=256, seed=6)
+        assert not np.array_equal(a.output, b.output)
+
+
+class TestLoopTopologyEnables:
+    def test_gmin_disabled_kills_signal(self, chip, working_key):
+        f_sig = stimulus_frequency(STD, 64, 4096)
+        m = measure_modulator_snr(
+            chip, working_key.replace(gmin_en=0), STD, n_fft=4096, seed=1
+        )
+        assert m.snr_db < 0.0
+
+    def test_buffer_mode_output_is_analog(self, chip, working_key):
+        res = chip.simulate_modulator(
+            working_key.replace(comp_clk_en=0), _stim(), STD.fs, n_samples=N
+        )
+        assert not res.is_bitstream
+        assert np.unique(res.output).size > 100
+
+    def test_open_loop_degrades_snr(self, chip, working_key):
+        m_closed = measure_modulator_snr(chip, working_key, STD, n_fft=2048, seed=1)
+        m_open = measure_modulator_snr(
+            chip, working_key.replace(fb_en=0), STD, n_fft=2048, seed=1
+        )
+        assert m_open.snr_db < m_closed.snr_db - 10.0
+
+    def test_wrong_delay_breaks_loop(self, chip, working_key):
+        # tau = 0 (undelayed NRZ feedback) mis-phases the fs/4 loop.
+        m = measure_modulator_snr(
+            chip, working_key.replace(delay_code=0), STD, n_fft=2048, seed=1
+        )
+        assert m.snr_db < 10.0
+
+    def test_detuned_caps_degrade(self, chip, working_key):
+        wrong = working_key.replace(cc_coarse=200)
+        m = measure_modulator_snr(chip, wrong, STD, n_fft=2048, seed=1)
+        assert m.snr_db < 10.0
+
+
+class TestOscillationMode:
+    def test_oscillates_at_max_gmq(self, chip, working_key):
+        res = chip.simulate_oscillation(working_key, STD.fs, n_samples=2048)
+        tail = res.output[1024:]
+        assert np.std(tail) > 0.05
+
+    def test_oscillation_frequency_tracks_caps(self, chip, working_key):
+        from repro.calibration import oscillation_frequency
+
+        for cc in (10, 100):
+            res = chip.simulate_oscillation(
+                working_key.replace(cc_coarse=cc), STD.fs, n_samples=4096
+            )
+            f_meas = oscillation_frequency(res.output[2048:], STD.fs)
+            f_expect = chip.blocks.tank.resonance_frequency(cc, working_key.cf_fine)
+            assert f_meas == pytest.approx(f_expect, rel=0.02)
+
+    def test_no_oscillation_below_critical(self, chip, working_key):
+        critical = chip.blocks.tank.critical_gmq_code(
+            working_key.cc_coarse, working_key.cf_fine
+        )
+        res = chip.simulate_oscillation(
+            working_key, STD.fs, n_samples=2048, gmq_code=max(critical - 3, 0)
+        )
+        assert np.std(res.output[1024:]) < 0.05
+
+    def test_oscillation_config_topology(self, working_key):
+        osc = oscillation_config(working_key)
+        assert osc.comp_clk_en == 0
+        assert osc.gmin_en == 0
+        assert osc.fb_en == 0
+        assert osc.gmq_code == 63
+
+
+class TestGuards:
+    def test_bad_n_samples(self, chip, working_key):
+        with pytest.raises(ValueError):
+            chip.simulate_modulator(working_key, _stim(), STD.fs, n_samples=0)
+
+    def test_bad_substeps(self, chip, working_key):
+        with pytest.raises(ValueError):
+            chip.simulate_modulator(
+                working_key, _stim(), STD.fs, n_samples=16, substeps=1
+            )
