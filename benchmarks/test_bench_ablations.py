@@ -1,5 +1,9 @@
 """Benchmarks for the design-choice ablations (DESIGN.md commitments)."""
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 from repro.experiments import ablations
 
 

@@ -7,6 +7,10 @@ solver.  They use standard repeated-round benchmarking since each call
 is short.
 """
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 import numpy as np
 
 from repro.calibration import Calibrator

@@ -1,0 +1,85 @@
+"""Oracle-throughput benchmarks for the batched simulation engine.
+
+Measures keys/second through ``SimulationEngine.run`` for both backends
+at quick-mode sizes (the fig7 sweep: 16 keys, 2048-sample records), so
+the batching speedup is tracked in the BENCH trajectory, plus the
+speedup ratio itself as a guarded regression test.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ModulatorRequest, SimulationEngine, kernel_available
+from repro.receiver import Chip, ConfigWord, STANDARDS, ToneStimulus, stimulus_frequency
+
+pytestmark = pytest.mark.bench
+
+STD = STANDARDS[0]
+BATCH = 16
+N_FFT = 2048
+
+
+def _requests():
+    stim = ToneStimulus.single(stimulus_frequency(STD, 64, N_FFT), -25.0)
+    rng = np.random.default_rng(0)
+    return [
+        ModulatorRequest(
+            config=ConfigWord.random(rng), stimulus=stim, fs=STD.fs,
+            n_samples=N_FFT, seed=7,
+        )
+        for _ in range(BATCH)
+    ]
+
+
+def _throughput(backend: str, chip: Chip, requests) -> float:
+    engine = SimulationEngine(backend=backend)
+    engine.run(chip, requests)  # warm caches and (for native) the kernel
+    start = time.perf_counter()
+    engine.run(chip, requests)
+    return BATCH / (time.perf_counter() - start)
+
+
+def test_bench_oracle_reference_16keys(benchmark):
+    chip = Chip()
+    requests = _requests()
+    engine = SimulationEngine(backend="reference")
+    engine.run(chip, requests)
+    result = benchmark(engine.run, chip, requests)
+    assert len(result) == BATCH
+
+
+def test_bench_oracle_vectorized_16keys(benchmark):
+    chip = Chip()
+    requests = _requests()
+    engine = SimulationEngine(backend="vectorized")
+    engine.run(chip, requests)
+    result = benchmark(engine.run, chip, requests)
+    assert len(result) == BATCH
+
+
+@pytest.mark.skipif(
+    not kernel_available(),
+    reason="no C compiler: vectorized backend falls back to the reference loop",
+)
+def test_vectorized_speedup_at_quick_mode_batch(benchmark):
+    """The acceptance ratio: >= 3x over per-key simulation at 16 keys.
+
+    Both backends integrate the identical batch (and produce identical
+    results — see tests/test_engine.py); the best of three rounds guards
+    against scheduler noise on loaded machines.
+    """
+    chip = Chip()
+    requests = _requests()
+    ref = max(_throughput("reference", chip, requests) for _ in range(3))
+    vec = max(_throughput("vectorized", chip, requests) for _ in range(3))
+    speedup = vec / ref
+    benchmark.extra_info["reference_keys_per_s"] = round(ref, 1)
+    benchmark.extra_info["vectorized_keys_per_s"] = round(vec, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark(lambda: None)  # ratio computed above; keep the harness happy
+    assert speedup >= 3.0, (
+        f"vectorized {vec:.0f} keys/s vs reference {ref:.0f} keys/s "
+        f"({speedup:.1f}x < 3x)"
+    )

@@ -5,6 +5,10 @@ representative) parameters and asserts the paper's qualitative shape,
 so the harness doubles as a regression gate on the reproduction.
 """
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 from repro.experiments import (
     fig07_invalid_keys,
     fig08_transient,

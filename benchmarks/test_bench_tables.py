@@ -1,5 +1,9 @@
 """Benchmarks regenerating the paper's analysis tables."""
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 from repro.experiments import (
     security_optimization,
     security_sat,

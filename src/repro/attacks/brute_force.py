@@ -52,31 +52,53 @@ class BruteForceOutcome:
 
 @dataclass
 class BruteForceAttack:
-    """Random-key search against a measurement oracle."""
+    """Random-key search against a measurement oracle.
+
+    Keys are measured in chunks of ``batch_size`` through the oracle's
+    batched SNR probe — the lab analogue of parallel test benches, and
+    the simulation analogue of one amortised engine submission.  The
+    key draw order, the best-so-far tracking and the spec adjudication
+    are unchanged from the sequential search.
+    """
 
     oracle: MeasurementOracle
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(13))
+    batch_size: int = 16
 
     def run(self, n_trials: int) -> BruteForceOutcome:
         """Try ``n_trials`` uniformly random keys.
 
         A key whose quick SNR probe crosses the spec is confirmed with
         the oracle's full adjudication (modulator + receiver output),
-        which rejects deceptive analog-passthrough keys.
+        which rejects deceptive analog-passthrough keys.  Every key of
+        a measured chunk counts as a trial (all of its benches ran),
+        and chunks never exceed the oracle's remaining budget, so a
+        budget overrun raises at the same query count as a sequential
+        search.
         """
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
         spec = self.oracle.spec()
-        best_key = ConfigWord.random(self.rng)
-        best_snr = self.oracle.snr(best_key)
-        success = best_snr >= spec.snr_min_db and self.oracle.unlocks(best_key)
-        trials = 1
+        best_key: ConfigWord | None = None
+        best_snr = -np.inf
+        success = False
+        trials = 0
         while trials < n_trials and not success:
-            key = ConfigWord.random(self.rng)
-            snr = self.oracle.snr(key)
-            trials += 1
-            if snr > best_snr:
-                best_key, best_snr = key, snr
-            if snr >= spec.snr_min_db and self.oracle.unlocks(key):
-                success = True
+            chunk_size = min(self.batch_size, n_trials - trials)
+            remaining = self.oracle.remaining_queries()
+            if remaining is not None:
+                # Never pre-charge past the budget; a 1-key chunk lets
+                # the oracle raise exactly at the budget boundary.
+                chunk_size = max(min(chunk_size, remaining), 1)
+            chunk = [ConfigWord.random(self.rng) for _ in range(chunk_size)]
+            snrs = self.oracle.snr_batch(chunk)
+            trials += len(chunk)
+            for key, snr in zip(chunk, snrs):
+                if snr > best_snr:
+                    best_key, best_snr = key, snr
+                if not success and snr >= spec.snr_min_db and self.oracle.unlocks(key):
+                    success = True
+        assert best_key is not None  # n_trials >= 1 measures a chunk
         return BruteForceOutcome(
             success=success,
             best_key=best_key,

@@ -10,14 +10,18 @@ backed by actual query counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.attacks.cost import AttackCostModel
 from repro.locking.specs import PerformanceSpec
 from repro.receiver.config import ConfigWord
 from repro.receiver.performance import (
     measure_modulator_snr,
+    measure_modulator_snr_batch,
     measure_receiver_snr,
+    measure_receiver_snr_batch,
     measure_sfdr,
+    measure_sfdr_batch,
 )
 from repro.receiver.receiver import Chip
 from repro.receiver.standards import Standard
@@ -59,6 +63,18 @@ class MeasurementOracle:
                 f"budget of {self.max_queries} measurements exhausted"
             )
 
+    def remaining_queries(self) -> int | None:
+        """Measurements left in the budget (None when unlimited).
+
+        Batch attackers should size their chunks by this: the batched
+        probes charge every key of a chunk up front, so submitting a
+        chunk larger than the remaining budget raises before any key in
+        it is measured.
+        """
+        if self.max_queries is None:
+            return None
+        return max(self.max_queries - self.n_queries, 0)
+
     def snr(self, key: ConfigWord) -> float:
         """Measured modulator-output SNR under ``key``, dB."""
         self._charge(self.cost_model.snr_seconds)
@@ -66,12 +82,36 @@ class MeasurementOracle:
             self.chip, key, self.standard, n_fft=self.n_fft, seed=self.seed
         ).snr_db
 
+    def snr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
+        """Batched :meth:`snr` — many keys, one engine submission.
+
+        Every key is a metered measurement: the budget is charged per
+        key *before* the batch runs, so a budget overrun raises without
+        spending simulation time, at the same query count the
+        sequential oracle would have reached.
+        """
+        for _ in keys:
+            self._charge(self.cost_model.snr_seconds)
+        measurements = measure_modulator_snr_batch(
+            self.chip, keys, self.standard, n_fft=self.n_fft, seed=self.seed
+        )
+        return [m.snr_db for m in measurements]
+
     def sfdr(self, key: ConfigWord) -> float:
         """Measured SFDR under ``key``, dB."""
         self._charge(self.cost_model.sfdr_seconds)
         return measure_sfdr(
             self.chip, key, self.standard, n_fft=self.n_fft, seed=self.seed
         ).sfdr_db
+
+    def sfdr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
+        """Batched :meth:`sfdr`; metering as in :meth:`snr_batch`."""
+        for _ in keys:
+            self._charge(self.cost_model.sfdr_seconds)
+        measurements = measure_sfdr_batch(
+            self.chip, keys, self.standard, n_fft=self.n_fft, seed=self.seed
+        )
+        return [m.sfdr_db for m in measurements]
 
     def receiver_snr(self, key: ConfigWord, n_baseband: int = 512) -> float:
         """Measured SNR at the receiver output (the functional figure).
@@ -83,6 +123,17 @@ class MeasurementOracle:
         return measure_receiver_snr(
             self.chip, key, self.standard, n_baseband=n_baseband, seed=self.seed
         ).snr_db
+
+    def receiver_snr_batch(
+        self, keys: Sequence[ConfigWord], n_baseband: int = 512
+    ) -> list[float]:
+        """Batched :meth:`receiver_snr`; metering as in :meth:`snr_batch`."""
+        for _ in keys:
+            self._charge(self.cost_model.snr_seconds)
+        measurements = measure_receiver_snr_batch(
+            self.chip, keys, self.standard, n_baseband=n_baseband, seed=self.seed
+        )
+        return [m.snr_db for m in measurements]
 
     def spec(self) -> PerformanceSpec:
         """The public performance specification (datasheet knowledge)."""

@@ -1,0 +1,101 @@
+"""Batched simulation engine — one oracle API for every experiment.
+
+Every figure, table and attack in this reproduction reduces to the same
+operation: *simulate this chip under these N configuration words*.  The
+engine makes that the primitive.  Callers build request records and
+submit whole sweeps; the engine integrates them with one of two
+interchangeable, bit-exact backends.
+
+Architecture
+============
+
+::
+
+    experiments / attacks / calibration / locking
+            |        (ModulatorRequest / ReceiverRequest batches)
+            v
+    SimulationEngine.run(chip, requests) ---- engine-owned caches
+            |                                 (calibration results,
+            |  group by (n_samples, substeps)  per-chip tank
+            v                                  discretisations,
+       build_plan()                            per-batch stimulus)
+            |    per-key setup, exact legacy RNG draw order
+            |
+            +--> reference backend   (original scalar loop, ground truth)
+            +--> vectorized backend  (key-axis batch -> compiled kernel)
+
+Backends
+--------
+
+* **reference** — the original per-sample scalar recursion, verbatim.
+  The semantic ground truth.
+* **vectorized** — hands the whole batch, with per-key state ``(v,
+  i_L)`` and constants laid out over the key axis, to a small compiled
+  C kernel (built from ``_kernel.c`` on first use, cached per user).
+  One call integrates every key, which makes multi-key sweeps an order
+  of magnitude faster; without a C compiler it falls back to running
+  the reference loop per key, so results never depend on the toolchain.
+* **auto** (default) — vectorized whenever the compiled kernel is
+  available, reference otherwise.
+
+The backends are *bit-exact* (same ``ModulatorResult.output``, ``bits``
+and ``tank_voltage`` arrays): they read identical precomputed inputs,
+keep identical operand order, and share the one in-loop transcendental
+— CPython's ``math.tanh`` and the kernel's ``tanh`` are the same libm
+symbol, and the kernel is built with FP contraction disabled.
+``tests/test_engine.py`` holds the equivalence property over mixed
+clocked / buffer-mode / oscillation batches.  The invariants live in
+:mod:`repro.engine.plan` and :mod:`repro.engine.native`.
+
+Batching model
+--------------
+
+A batch may mix configurations, stimuli, clocks and seeds freely — keys
+are independent along the batch axis.  Only the *time grid* (record
+length and substeps) must agree, so :meth:`SimulationEngine.run` groups
+requests by ``(n_samples, substeps)`` and integrates each group in one
+pass, returning results in request order.
+
+Cache semantics
+---------------
+
+The engine owns two bounded LRU caches (:class:`~repro.engine.cache.
+BoundedCache`), replacing the old unbounded module-global calibration
+cache: calibration results keyed by ``(chip_id, standard_index)``, and
+per-chip ZOH tank discretisations keyed by ``(cc, cf, h)`` (held on the
+:class:`~repro.receiver.receiver.Chip`, since they are chip state like
+its block set).  A third, run-scoped memo shares the sampled RF
+stimulus waveform across the keys of one batch.  All three are
+deterministic value caches — hitting them cannot change any result.
+``clear_caches()`` (engine method and module-level hook for the default
+engine) empties the persistent ones for tests and long-running sweeps.
+"""
+
+from repro.engine.cache import BoundedCache
+from repro.engine.engine import (
+    BACKENDS,
+    EngineStats,
+    SimulationEngine,
+    clear_caches,
+    get_default_engine,
+    set_default_backend,
+)
+from repro.engine.native import kernel_available
+from repro.engine.plan import KeyPlan, build_plan, discretise_tank
+from repro.engine.request import ModulatorRequest, ReceiverRequest
+
+__all__ = [
+    "BACKENDS",
+    "BoundedCache",
+    "EngineStats",
+    "KeyPlan",
+    "ModulatorRequest",
+    "ReceiverRequest",
+    "SimulationEngine",
+    "build_plan",
+    "clear_caches",
+    "discretise_tank",
+    "get_default_engine",
+    "kernel_available",
+    "set_default_backend",
+]

@@ -1,0 +1,148 @@
+/* Batched modulator integrator — compiled fast path of the vectorized
+ * backend (see repro/engine/native.py, which builds and loads this).
+ *
+ * Bit-exactness contract with the Python reference loop
+ * (repro/engine/reference.py):
+ *
+ *   - every expression below is a line-for-line transcription of the
+ *     reference recursion with the SAME operand order, so each IEEE-754
+ *     add/mul/div rounds identically;
+ *   - tanh() here and CPython's math.tanh are the same libm symbol, so
+ *     the only transcendental matches exactly;
+ *   - the build disables floating-point contraction (-ffp-contract=off),
+ *     so the compiler cannot fuse a*b+c into an FMA with different
+ *     rounding.
+ *
+ * The batch ABI carries the per-key state (v, i_L) over the key axis:
+ * each input is an array of per-key row pointers, and the outer loop
+ * walks keys while the inner recursion walks time.  Keys are
+ * independent, so per-key results cannot depend on batch composition.
+ */
+
+#include <math.h>
+
+/* Per-key parameter row layout; must match PARAM_FIELDS in native.py. */
+enum {
+    P_A11, P_A12, P_A21, P_A22, P_B1, P_B2,
+    P_CLOCKED, P_FEEDBACK_ON, P_CHOP_EN, P_DELAY_WHOLE, P_SWITCH_SUBSTEP,
+    P_I_DAC_UNIT, P_CHOP_OFFSET, P_DECISION_SIGMA, P_HYSTERESIS,
+    P_GV, P_VSAT, P_PREAMP_GAIN, P_V_CLIP, P_BUF_GAIN,
+    P_BUFFER_GAIN, P_BUFFER_CLAMP, P_BUFFER_NOISE, P_V0, P_IL0,
+    N_PARAMS
+};
+
+static void simulate_key(
+    int n_samples, int substeps,
+    const double *i_in, const double *comp_noise,
+    const double *comp_noise_out, const double *dither,
+    const double *p,
+    double *output, double *bits, double *tank_v)
+{
+    const double a11 = p[P_A11], a12 = p[P_A12];
+    const double a21 = p[P_A21], a22 = p[P_A22];
+    const double b1 = p[P_B1], b2 = p[P_B2];
+    const int clocked = p[P_CLOCKED] != 0.0;
+    const int feedback_on = p[P_FEEDBACK_ON] != 0.0;
+    const int chop_en = p[P_CHOP_EN] != 0.0;
+    const int delay_whole = (int)p[P_DELAY_WHOLE];
+    const double switch_substep = p[P_SWITCH_SUBSTEP];
+    const double i_dac_unit = p[P_I_DAC_UNIT];
+    const double chop_offset = p[P_CHOP_OFFSET];
+    const double decision_sigma = p[P_DECISION_SIGMA];
+    const double hysteresis = p[P_HYSTERESIS];
+    const double gv = p[P_GV], vsat = p[P_VSAT];
+    const double preamp_gain = p[P_PREAMP_GAIN], v_clip = p[P_V_CLIP];
+    const double buf_gain = p[P_BUF_GAIN];
+    const double buffer_gain = p[P_BUFFER_GAIN];
+    const double buffer_clamp = p[P_BUFFER_CLAMP];
+    const double buffer_noise = p[P_BUFFER_NOISE];
+
+    double chop_sign = 1.0;
+    double v = p[P_V0], il = p[P_IL0];
+    double d0 = -1.0, d1 = -1.0, d2 = -1.0;
+
+    for (int n = 0; n < n_samples; n++) {
+        tank_v[n] = v;
+        double v_pre = v_clip * tanh(preamp_gain * v / v_clip);
+        if (clocked) {
+            double v_eff = v_pre + chop_sign * chop_offset
+                + comp_noise[n] * decision_sigma + dither[n]
+                + hysteresis * d0;
+            d2 = d1;
+            d1 = d0;
+            d0 = (v_eff >= 0.0) ? 1.0 : -1.0;
+            bits[n] = d0;
+            output[n] = d0 * buf_gain;
+        } else {
+            d2 = d1;
+            d1 = d0;
+            bits[n] = 0.0;
+            /* Un-clocked comparator as an open-loop buffer stage. */
+            double v_eff = v_pre + chop_offset
+                + comp_noise[n] * decision_sigma;
+            double y_buf = buffer_clamp
+                    * tanh(buffer_gain * v_eff / buffer_clamp)
+                + comp_noise_out[n] * buffer_noise;
+            output[n] = y_buf * buf_gain;
+        }
+        if (chop_en)
+            chop_sign = -chop_sign;
+
+        double d_early, d_late;
+        if (delay_whole == 0) {
+            d_early = d1;
+            d_late = d0;
+        } else {
+            d_early = d2;
+            d_late = d1;
+        }
+
+        int base = n * substeps;
+        for (int j = 0; j < substeps; j++) {
+            double i_fb;
+            if (clocked) {
+                double drive_bit = (j < switch_substep) ? d_early : d_late;
+                i_fb = i_dac_unit * drive_bit;
+            } else if (feedback_on) {
+                /* Buffer mode with the loop closed: the DAC sees the
+                 * clipped open-loop comparator output and switches
+                 * partially. */
+                double v_pre_now = v_clip * tanh(preamp_gain * v / v_clip);
+                double y_now = buffer_clamp
+                        * tanh(buffer_gain
+                               * (v_pre_now + chop_offset
+                                  + 0.0 * decision_sigma)
+                               / buffer_clamp)
+                    + 0.0 * buffer_noise;
+                i_fb = i_dac_unit * tanh(y_now / 0.3) / 0.995055;
+            } else {
+                i_fb = 0.0;
+            }
+            double i_gmq = gv * tanh(v / vsat);
+            /* +i_fb is the stable, noise-shaping polarity — see the
+             * reference loop for the fs/4 phasing argument. */
+            double u = i_in[base + j] + i_gmq + i_fb;
+            double vn = a11 * v + a12 * il + b1 * u;
+            double iln = a21 * v + a22 * il + b2 * u;
+            v = vn;
+            il = iln;
+        }
+    }
+}
+
+void repro_simulate_batch(
+    int n_keys, int n_samples, int substeps,
+    const double *const *i_in, const double *const *comp_noise,
+    const double *const *comp_noise_out, const double *const *dither,
+    const double *params,
+    double *const *output, double *const *bits, double *const *tank_v)
+{
+    for (int k = 0; k < n_keys; k++) {
+        simulate_key(n_samples, substeps, i_in[k], comp_noise[k],
+                     comp_noise_out[k], dither[k], params + k * N_PARAMS,
+                     output[k], bits[k], tank_v[k]);
+    }
+}
+
+/* ABI sanity hook for the loader. */
+int repro_kernel_n_params(void) { return N_PARAMS; }

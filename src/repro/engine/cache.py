@@ -1,0 +1,85 @@
+"""Bounded LRU cache used for engine-owned result caches.
+
+The previous module-global calibration cache grew without limit over
+long sweeps; every engine cache is now an instance of
+:class:`BoundedCache`, which evicts the least-recently-used entry once
+``maxsize`` is reached and can be cleared wholesale from test hooks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class BoundedCache:
+    """A small LRU mapping with explicit statistics.
+
+    Args:
+        maxsize: Maximum number of entries kept; the least recently used
+            entry is evicted when a new key would exceed it.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: Hashable) -> object:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            raise KeyError(key)
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        self.put(key, value)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key``, refreshing its recency on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get_or_set(self, key: Hashable, compute: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, computing it on a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value  # type: ignore[return-value]
+        self.misses += 1
+        computed = compute()
+        self.put(key, computed)
+        return computed
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()

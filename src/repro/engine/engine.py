@@ -1,0 +1,204 @@
+"""The batched simulation engine and its process-wide default instance.
+
+:class:`SimulationEngine` is the one oracle API every layer above the
+receiver goes through: ``Chip.simulate_*`` delegates single requests to
+it, the performance/measurement layer submits whole key sweeps, and the
+attacks query it through the measurement oracle.  See the package
+docstring (:mod:`repro.engine`) for the architecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.engine import native
+from repro.engine.cache import BoundedCache
+from repro.engine.plan import build_plan
+from repro.engine.reference import simulate_plan
+from repro.engine.request import ModulatorRequest, ReceiverRequest
+from repro.engine.vectorized import simulate_plans
+from repro.receiver.chain import DigitalChain, ReceiverResult
+from repro.receiver.config import DigitalConfig
+from repro.receiver.sdm import ModulatorResult
+
+if TYPE_CHECKING:  # avoid the receiver -> engine -> receiver import cycle
+    from repro.receiver.receiver import Chip
+
+#: Selectable integration backends.
+BACKENDS = ("auto", "reference", "vectorized")
+
+
+@dataclass
+class EngineStats:
+    """Counters for engine instrumentation (reset with the caches)."""
+
+    n_requests: int = 0
+    n_batches: int = 0
+    n_reference_runs: int = 0
+    n_vectorized_runs: int = 0
+    integrate_seconds: float = 0.0
+
+
+@dataclass
+class SimulationEngine:
+    """Batched oracle: ``run(chip, requests) -> results``.
+
+    Args:
+        backend: ``"reference"`` forces the scalar loop, ``"vectorized"``
+            forces the batch backend (any batch size), ``"auto"`` uses
+            the batch backend whenever its compiled kernel is available.
+            Backends are bit-exact, so dispatch is purely a throughput
+            decision.
+        calibration_cache_size: Bound on the engine-owned calibration
+            result cache (replaces the old unbounded module global).
+    """
+
+    backend: str = "auto"
+    calibration_cache_size: int = 64
+    calibration_cache: BoundedCache = field(init=False, repr=False)
+    stats: EngineStats = field(default_factory=EngineStats, init=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        self.calibration_cache = BoundedCache(self.calibration_cache_size)
+
+    # -- modulator oracle --------------------------------------------------
+
+    def run(
+        self, chip: "Chip", requests: Sequence[ModulatorRequest]
+    ) -> list[ModulatorResult]:
+        """Simulate a batch of configuration words on one chip.
+
+        Requests are grouped by time grid (``n_samples``, ``substeps``);
+        each group is integrated by the selected backend.  Results come
+        back in request order and are identical whichever backend ran
+        them.
+        """
+        requests = list(requests)
+        results: list[ModulatorResult | None] = [None] * len(requests)
+        groups: dict[tuple[int, int], list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.batch_key, []).append(i)
+        disc_cache = chip.discretisation_cache
+        stim_cache: dict = {}
+        for indices in groups.values():
+            plans = [
+                build_plan(
+                    chip.blocks,
+                    requests[i],
+                    disc_cache=disc_cache,
+                    stim_cache=stim_cache,
+                )
+                for i in indices
+            ]
+            start = time.perf_counter()
+            if self._use_vectorized():
+                outs = simulate_plans(plans)
+                self.stats.n_vectorized_runs += len(plans)
+            else:
+                outs = [simulate_plan(plan) for plan in plans]
+                self.stats.n_reference_runs += len(plans)
+            self.stats.integrate_seconds += time.perf_counter() - start
+            for i, out in zip(indices, outs):
+                results[i] = out
+            self.stats.n_batches += 1
+        self.stats.n_requests += len(requests)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, chip: "Chip", request: ModulatorRequest) -> ModulatorResult:
+        """Single-request convenience wrapper over :meth:`run`."""
+        return self.run(chip, [request])[0]
+
+    def _use_vectorized(self) -> bool:
+        if self.backend == "vectorized":
+            return True
+        if self.backend == "reference":
+            return False
+        return native.kernel_available()
+
+    # -- full-chain oracle -------------------------------------------------
+
+    def run_receiver(
+        self, chip: "Chip", requests: Sequence[ReceiverRequest]
+    ) -> list[ReceiverResult]:
+        """Simulate modulator batches and push each through the digital
+        section (slicer, fs/4 mixer, decimation)."""
+        requests = list(requests)
+        osr = chip.design.osr
+        mod_requests = [
+            ModulatorRequest(
+                config=r.config,
+                stimulus=r.stimulus,
+                fs=r.fs,
+                n_samples=r.n_baseband * osr,
+                seed=r.seed,
+                substeps=r.substeps,
+            )
+            for r in requests
+        ]
+        mods = self.run(chip, mod_requests)
+        results = []
+        for request, mod in zip(requests, mods):
+            chain = DigitalChain(
+                osr=osr,
+                logic_threshold=chip.design.front_end.logic_threshold,
+                digital_config=request.digital_config or DigitalConfig(),
+            )
+            results.append(chain.process(mod.output, request.fs))
+        return results
+
+    def run_receiver_one(
+        self, chip: "Chip", request: ReceiverRequest
+    ) -> ReceiverResult:
+        """Single-request convenience wrapper over :meth:`run_receiver`."""
+        return self.run_receiver(chip, [request])[0]
+
+    # -- engine-owned caches -----------------------------------------------
+
+    def calibrated(self, chip: "Chip", standard, factory: Callable | None = None):
+        """Calibration result for ``chip`` at ``standard``, cached.
+
+        The cache key is ``(chip_id, standard.index)`` — experiments all
+        draw chips from the shared reference lot, so a die is identified
+        by its id.  Pass ``factory`` (a zero-argument callable) to
+        control how a missing entry is computed; the default runs the
+        full paper calibration procedure.
+        """
+        if factory is None:
+            def factory():  # deferred import: calibration imports the receiver
+                from repro.calibration.procedure import Calibrator
+
+                return Calibrator().calibrate(chip, standard)
+
+        key = (chip.variations.chip_id, standard.index)
+        return self.calibration_cache.get_or_set(key, factory)
+
+    def clear_caches(self) -> None:
+        """Test hook: drop cached calibrations and reset statistics."""
+        self.calibration_cache.clear()
+        self.stats = EngineStats()
+
+
+_DEFAULT_ENGINE = SimulationEngine()
+
+
+def get_default_engine() -> SimulationEngine:
+    """The process-wide engine used by ``Chip.simulate_*`` delegation."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_backend(backend: str) -> None:
+    """Switch the default engine's backend (CLI ``--backend`` hook)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    _DEFAULT_ENGINE.backend = backend
+
+
+def clear_caches() -> None:
+    """Test hook: clear every cache on the default engine."""
+    _DEFAULT_ENGINE.clear_caches()

@@ -1,0 +1,175 @@
+"""Build, load and drive the compiled batch kernel (``_kernel.c``).
+
+The kernel is compiled on first use with the system C compiler into a
+per-user cache directory keyed by a hash of the source, so editing the
+source or upgrading the repo transparently rebuilds it.  Machines
+without a compiler simply report the kernel unavailable and the
+vectorized backend falls back to the (bit-identical) reference loop —
+nothing is ever ``pip install``-ed.
+
+Why C is bit-exact with the Python reference loop:
+
+* CPython's ``math.tanh`` and the kernel's ``tanh`` resolve to the same
+  libm symbol, so the single in-loop transcendental matches bitwise;
+* the kernel transcribes the reference expressions with identical
+  operand order, and IEEE-754 double add/mul/div are deterministic
+  given order;
+* the build passes ``-ffp-contract=off`` so the compiler cannot fuse
+  multiply-adds into differently-rounded FMAs.
+
+``tests/test_engine.py`` holds the equivalence property over mixed-mode
+batches.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.plan import KeyPlan
+from repro.receiver.sdm import ModulatorResult
+
+#: Per-key parameter row; order must match the ``enum`` in _kernel.c.
+PARAM_FIELDS = (
+    "a11", "a12", "a21", "a22", "b1", "b2",
+    "clocked", "feedback_on", "chop_en", "delay_whole", "switch_substep",
+    "i_dac_unit", "chop_offset", "decision_sigma", "hysteresis",
+    "gv", "vsat", "preamp_gain", "v_clip", "buf_gain",
+    "buffer_gain", "buffer_clamp", "buffer_noise", "v0", "il0",
+)
+
+_KERNEL_SOURCE = Path(__file__).with_name("_kernel.c")
+
+#: Flags chosen for speed *and* reproducibility: optimisation is fine,
+#: value-changing transformations (FMA contraction, fast-math) are not.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_lib: ctypes.CDLL | None = None
+_lib_checked = False
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_DOUBLE_PP = ctypes.POINTER(_DOUBLE_P)
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    path = Path(base) / "repro-engine"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    except OSError:
+        return Path(tempfile.gettempdir()) / "repro-engine"
+
+
+def _compiler() -> str | None:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _build_library() -> ctypes.CDLL | None:
+    if not _KERNEL_SOURCE.exists():
+        return None
+    source = _KERNEL_SOURCE.read_bytes()
+    tag = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"kernel-{tag}.so"
+    if not so_path.exists():
+        cc = _compiler()
+        if cc is None:
+            return None
+        cache.mkdir(parents=True, exist_ok=True)
+        # Build to a temp name then rename, so concurrent processes
+        # never load a half-written library.
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+        os.close(fd)
+        cmd = [cc, *_CFLAGS, "-o", tmp, str(_KERNEL_SOURCE), "-lm"]
+        try:
+            subprocess.run(
+                cmd, check=True, capture_output=True, timeout=120
+            )
+            os.replace(tmp, so_path)
+        except (subprocess.SubprocessError, OSError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    if lib.repro_kernel_n_params() != len(PARAM_FIELDS):
+        return None  # stale ABI; refuse rather than corrupt results
+    lib.repro_simulate_batch.argtypes = [
+        ctypes.c_int, ctypes.c_int, ctypes.c_int,
+        _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
+        _DOUBLE_P,
+        _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
+    ]
+    lib.repro_simulate_batch.restype = None
+    return lib
+
+
+def kernel_available() -> bool:
+    """Whether the compiled batch kernel can be used on this machine."""
+    global _lib, _lib_checked
+    if not _lib_checked:
+        _lib = _build_library()
+        _lib_checked = True
+    return _lib is not None
+
+
+def _pointer_array(arrays: Sequence[np.ndarray]) -> ctypes.Array:
+    ptrs = (_DOUBLE_P * len(arrays))()
+    for i, a in enumerate(arrays):
+        ptrs[i] = a.ctypes.data_as(_DOUBLE_P)
+    return ptrs
+
+
+def simulate_plans_native(plans: Sequence[KeyPlan]) -> list[ModulatorResult]:
+    """Integrate a batch of key plans through the compiled kernel."""
+    if not kernel_available():
+        raise RuntimeError("compiled kernel unavailable on this machine")
+    n_keys = len(plans)
+    n_samples = plans[0].n_samples
+    substeps = plans[0].substeps
+    params = np.empty((n_keys, len(PARAM_FIELDS)))
+    for k, plan in enumerate(plans):
+        for j, name in enumerate(PARAM_FIELDS):
+            params[k, j] = float(getattr(plan, name))
+    i_in = [np.ascontiguousarray(p.i_in) for p in plans]
+    comp_noise = [np.ascontiguousarray(p.comp_noise) for p in plans]
+    comp_noise_out = [np.ascontiguousarray(p.comp_noise_out) for p in plans]
+    dither = [np.ascontiguousarray(p.dither) for p in plans]
+    output = [np.empty(n_samples) for _ in plans]
+    bits = [np.empty(n_samples) for _ in plans]
+    tank_v = [np.empty(n_samples) for _ in plans]
+    _lib.repro_simulate_batch(
+        n_keys, n_samples, substeps,
+        _pointer_array(i_in), _pointer_array(comp_noise),
+        _pointer_array(comp_noise_out), _pointer_array(dither),
+        params.ctypes.data_as(_DOUBLE_P),
+        _pointer_array(output), _pointer_array(bits), _pointer_array(tank_v),
+    )
+    return [
+        ModulatorResult(
+            output=output[k],
+            bits=bits[k],
+            tank_voltage=tank_v[k],
+            fs=plans[k].fs,
+            is_bitstream=plans[k].clocked,
+        )
+        for k in range(n_keys)
+    ]

@@ -1,0 +1,210 @@
+"""Shared per-key simulation setup for both engine backends.
+
+Bit-exactness between the reference and vectorized backends rests on
+the invariants enforced here and in :mod:`repro.engine.native`:
+
+1. Every input the time recursion consumes — the input-current record,
+   the noise/dither draws, the discretised tank matrices, all derived
+   block constants — is computed once, in the exact RNG draw order of
+   the original scalar simulator, and stored in a :class:`KeyPlan` that
+   every backend reads.  Backends only integrate; they never draw
+   randomness or evaluate chip models.
+2. The recursion itself is IEEE-754 double add/mul/div (deterministic
+   given operand order, which all backends keep identical) plus a
+   single transcendental, ``tanh`` — and CPython's ``math.tanh`` and
+   the compiled kernel's ``tanh`` are the same libm symbol.  (NumPy's
+   SIMD ``np.tanh`` is *not* that function — it differs by an ULP on
+   some inputs, enough to eventually flip a comparator decision in a
+   feedback loop, which is why the vectorized backend is a compiled
+   kernel rather than a ufunc pipeline.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import MutableMapping
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.engine.request import ModulatorRequest
+from repro.receiver.sdm import ModulatorBlocks
+
+
+def discretise_tank(
+    blocks: ModulatorBlocks, cc: int, cf: int, h: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ZOH discretisation of the linear tank over step ``h``."""
+    a, b = blocks.tank.state_matrices(cc, cf)
+    ad = expm(a * h)
+    bd = np.linalg.solve(a, (ad - np.eye(2)) @ b)
+    return ad, bd
+
+
+@dataclass
+class KeyPlan:
+    """Everything one key's transient simulation needs, precomputed.
+
+    Attributes are grouped as: time grid, per-substep/per-sample input
+    records (``i_in``, noise, dither), the discretised tank update, the
+    loop-topology mode flags, and the per-key block constants.  A plan
+    is backend-agnostic; backends must not draw randomness or evaluate
+    chip models — only integrate.
+    """
+
+    # -- time grid --------------------------------------------------------
+    fs: float
+    n_samples: int
+    substeps: int
+    # -- input records ----------------------------------------------------
+    i_in: np.ndarray  # (n_samples * substeps,) tank input current
+    comp_noise: np.ndarray  # (n_samples,) unit-normal decision noise
+    comp_noise_out: np.ndarray  # (n_samples,) unit-normal buffer output noise
+    dither: np.ndarray  # (n_samples,) dither voltage (zeros when disabled)
+    # -- discretised tank -------------------------------------------------
+    a11: float
+    a12: float
+    a21: float
+    a22: float
+    b1: float
+    b2: float
+    # -- mode flags -------------------------------------------------------
+    clocked: bool
+    feedback_on: bool
+    chop_en: bool
+    # -- loop constants ---------------------------------------------------
+    delay_whole: int
+    switch_substep: float
+    i_dac_unit: float
+    chop_offset: float
+    decision_sigma: float
+    hysteresis: float
+    gv: float  # gmq_gm * vsat, the -Gm current scale
+    vsat: float
+    preamp_gain: float
+    v_clip: float
+    buf_gain: float
+    buffer_gain: float  # un-clocked comparator stage gain
+    buffer_clamp: float  # un-clocked comparator output clamp
+    buffer_noise: float  # un-clocked comparator output noise, V rms
+    v0: float
+    il0: float
+
+
+def build_plan(
+    blocks: ModulatorBlocks,
+    request: ModulatorRequest,
+    disc_cache: MutableMapping | None = None,
+    stim_cache: MutableMapping | None = None,
+) -> KeyPlan:
+    """Prepare one key's simulation inputs (exact legacy RNG order).
+
+    Args:
+        blocks: The chip's analog block set.
+        request: The simulation request.
+        disc_cache: Optional ``(cc, cf, h) -> (ad, bd)`` memo for the
+            matrix-exponential discretisation, shared across a batch or
+            owned by a chip.  The discretisation is deterministic, so
+            caching cannot change results.
+        stim_cache: Optional memo for the sampled RF stimulus waveform,
+            keyed by ``(stimulus, fs, n_samples, substeps)``.  Sweeps
+            measure many keys under one stimulus, so the engine shares
+            the tone evaluation across a batch; sampling is
+            deterministic, so caching cannot change results.
+    """
+    config = request.config
+    n_samples = request.n_samples
+    substeps = request.substeps
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if substeps < 2:
+        raise ValueError(f"need at least 2 substeps, got {substeps}")
+    rng = np.random.default_rng(request.seed)
+    fs = request.fs
+    h = 1.0 / (fs * substeps)
+
+    key = (config.cc_coarse, config.cf_fine, h)
+    if disc_cache is not None and key in disc_cache:
+        ad, bd = disc_cache[key]
+    else:
+        ad, bd = discretise_tank(blocks, config.cc_coarse, config.cf_fine, h)
+        if disc_cache is not None:
+            disc_cache[key] = (ad, bd)
+
+    bias_scale = 1.0 + (config.bias_global - 4) * blocks.bias_global_step
+
+    # Input path, fully vectorised: RF tones -> VGLNA -> Gmin current.
+    stim_key = (request.stimulus, fs, n_samples, substeps)
+    if stim_cache is not None and stim_key in stim_cache:
+        v_rf = stim_cache[stim_key]
+    else:
+        t = np.arange(n_samples * substeps) * h
+        v_rf = request.stimulus.sample(t)
+        if stim_cache is not None:
+            stim_cache[stim_key] = v_rf
+    v_lna = blocks.vglna.process(
+        v_rf, config.lna_gain, bandwidth=0.5 / h, rng=rng
+    )
+    i_sig = blocks.gmin.output_current(
+        v_lna, config.gmin_code, enabled=bool(config.gmin_en), bias_scale=bias_scale
+    )
+    # Tank current noise, piecewise constant per substep.
+    sigma_i = blocks.tank_current_noise * math.sqrt(0.5 / h)
+    i_noise = rng.normal(0.0, sigma_i, i_sig.shape)
+    i_in = i_sig + i_noise
+
+    feedback_on = bool(config.fb_en) and bool(config.dac_en)
+    clocked = bool(config.comp_clk_en)
+    tau = blocks.delay.delay_periods(config.delay_code)
+    delay_whole = int(tau)
+    switch_substep = (tau - delay_whole) * substeps
+    # In normal mode the DAC drive is +/-1: precompute the switched current.
+    i_dac_unit = blocks.dac.output_current(
+        1.0, config.dac_code, enabled=feedback_on, bias_scale=bias_scale
+    )
+    comp_noise = rng.normal(0.0, 1.0, n_samples)
+    comp_noise_out = rng.normal(0.0, 1.0, n_samples)
+    dither = (
+        blocks.dither_amplitude * rng.uniform(-1.0, 1.0, n_samples)
+        if config.dither_en
+        else np.zeros(n_samples)
+    )
+
+    gmq_gm = blocks.tank.gmq(config.gmq_code)
+    vsat = blocks.tank.design.gmq_vsat
+    comparator = blocks.comparator
+    return KeyPlan(
+        fs=fs,
+        n_samples=n_samples,
+        substeps=substeps,
+        i_in=i_in,
+        comp_noise=comp_noise,
+        comp_noise_out=comp_noise_out,
+        dither=dither,
+        a11=float(ad[0, 0]),
+        a12=float(ad[0, 1]),
+        a21=float(ad[1, 0]),
+        a22=float(ad[1, 1]),
+        b1=float(bd[0, 0]),
+        b2=float(bd[1, 0]),
+        clocked=clocked,
+        feedback_on=feedback_on,
+        chop_en=bool(config.chop_en),
+        delay_whole=delay_whole,
+        switch_substep=switch_substep,
+        i_dac_unit=i_dac_unit,
+        chop_offset=comparator.offset(config.comp_code),
+        decision_sigma=comparator.decision_noise(config.comp_code),
+        hysteresis=comparator.design.comp_hysteresis,
+        gv=gmq_gm * vsat,
+        vsat=vsat,
+        preamp_gain=blocks.preamp.gain(config.preamp_code, bias_scale),
+        v_clip=blocks.preamp.design.preamp_v_clip,
+        buf_gain=blocks.buffer.gain(config.buffer_code),
+        buffer_gain=comparator.BUFFER_GAIN,
+        buffer_clamp=comparator.BUFFER_CLAMP,
+        buffer_noise=comparator.BUFFER_OUTPUT_NOISE,
+        v0=request.initial_state[0],
+        il0=request.initial_state[1],
+    )

@@ -1,0 +1,85 @@
+"""Request records for the batched oracle API.
+
+A request is everything needed to reproduce one lab measurement setup:
+the configuration word under test (the key), the RF stimulus, the clock
+and record length, and the measurement-noise seed.  Requests are plain
+frozen dataclasses so experiment drivers can build big sweeps of them
+up front and hand the whole batch to the :class:`SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.receiver.config import ConfigWord, DigitalConfig
+from repro.receiver.stimulus import ToneStimulus
+
+
+@dataclass(frozen=True)
+class ModulatorRequest:
+    """One modulator transient simulation to be run by the engine.
+
+    Attributes:
+        config: The 64-bit configuration word under test.
+        stimulus: RF input.
+        fs: Clock frequency, Hz.
+        n_samples: Number of output samples.
+        seed: Measurement-noise seed.
+        substeps: Sub-intervals per clock period.
+        initial_state: Initial ``(v_tank, i_L)``.
+    """
+
+    config: ConfigWord
+    stimulus: ToneStimulus
+    fs: float
+    n_samples: int
+    seed: int = 0
+    substeps: int = 4
+    initial_state: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {self.n_samples}")
+        if self.substeps < 2:
+            raise ValueError(f"need at least 2 substeps, got {self.substeps}")
+
+    @property
+    def batch_key(self) -> tuple[int, int]:
+        """Requests sharing this key can be integrated as one batch.
+
+        Keys are independent along the batch axis, so only the *time
+        grid* — record length and substep count — must agree; the
+        configuration, stimulus, clock and seed are free per request.
+        """
+        return (self.n_samples, self.substeps)
+
+
+@dataclass(frozen=True)
+class ReceiverRequest:
+    """One full-chain (modulator + digital section) simulation.
+
+    Attributes:
+        config: The 64-bit configuration word under test.
+        stimulus: RF input.
+        fs: Modulator clock frequency, Hz.
+        n_baseband: Decimated output record length; the modulator runs
+            for ``n_baseband * osr`` clock periods.
+        seed: Measurement-noise seed.
+        substeps: Sub-intervals per clock period.
+        digital_config: The 3 digital programming bits (default profile
+            when omitted).
+    """
+
+    config: ConfigWord
+    stimulus: ToneStimulus
+    fs: float
+    n_baseband: int
+    seed: int = 0
+    substeps: int = 4
+    digital_config: DigitalConfig | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.n_baseband <= 0:
+            raise ValueError(f"n_baseband must be positive, got {self.n_baseband}")
+        if self.substeps < 2:
+            raise ValueError(f"need at least 2 substeps, got {self.substeps}")

@@ -25,7 +25,9 @@ from repro.experiments.common import (
     ExperimentResult,
     calibrated,
     chip_by_id,
+    clear_caches,
     hero_chip,
+    measure_keys,
 )
 
 __all__ = [
@@ -33,5 +35,7 @@ __all__ = [
     "ExperimentResult",
     "calibrated",
     "chip_by_id",
+    "clear_caches",
     "hero_chip",
+    "measure_keys",
 ]

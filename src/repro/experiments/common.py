@@ -3,14 +3,30 @@
 Every experiment produces an :class:`ExperimentResult` — named columns,
 rows of plain numbers/strings, and a free-form notes block — so the
 benchmark harness and EXPERIMENTS.md generation share one format.
+
+Chip access goes through the batched simulation engine:
+:func:`calibrated` memoises full calibrations on the engine's bounded
+cache (shared across experiments in one process), and
+:func:`measure_keys` is the batched SNR sweep primitive the per-figure
+drivers build on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.calibration.procedure import CalibrationResult, Calibrator
+from repro.engine import get_default_engine
+from repro.engine.engine import clear_caches  # re-exported test hook
 from repro.process.variations import ChipFactory
+from repro.receiver.config import ConfigWord
+from repro.receiver.performance import (
+    measure_modulator_snr_batch,
+    measure_receiver_snr_batch,
+)
 from repro.receiver.receiver import Chip
 from repro.receiver.standards import STANDARDS, Standard
 
@@ -62,9 +78,6 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-_CALIBRATION_CACHE: dict[tuple[int, int], CalibrationResult] = {}
-
-
 def hero_chip() -> Chip:
     """The experiment chip (die 0 of the reference lot)."""
     return Chip(variations=ChipFactory(lot_seed=EXPERIMENT_LOT_SEED).draw(HERO_CHIP_ID))
@@ -76,9 +89,43 @@ def chip_by_id(chip_id: int) -> Chip:
 
 
 def calibrated(chip: Chip, standard: Standard | None = None) -> CalibrationResult:
-    """Calibration result for a lot chip, cached across experiments."""
+    """Calibration result for a lot chip, cached across experiments.
+
+    The result lives on the default engine's bounded LRU cache (the
+    old module-global grew without limit over long sweeps); clear it
+    with :func:`clear_caches`.
+    """
     standard = standard or STANDARDS[0]
-    cache_key = (chip.variations.chip_id, standard.index)
-    if cache_key not in _CALIBRATION_CACHE:
-        _CALIBRATION_CACHE[cache_key] = Calibrator().calibrate(chip, standard)
-    return _CALIBRATION_CACHE[cache_key]
+    return get_default_engine().calibrated(
+        chip, standard, factory=lambda: Calibrator().calibrate(chip, standard)
+    )
+
+
+def measure_keys(
+    chip: Chip,
+    keys: Sequence[ConfigWord],
+    standard: Standard | None = None,
+    at_receiver: bool = False,
+    n_fft: int | None = None,
+    n_baseband: int = 512,
+    seed: int = 0,
+) -> np.ndarray:
+    """Batched SNR sweep over ``keys`` — the experiments' workhorse.
+
+    One engine submission measures every key under the standard's
+    stimulus, at the modulator output by default or after the digital
+    section with ``at_receiver=True``.  Returns the SNRs in dB, in key
+    order.
+    """
+    standard = standard or STANDARDS[0]
+    if not keys:
+        return np.empty(0)
+    if at_receiver:
+        measurements = measure_receiver_snr_batch(
+            chip, keys, standard, n_baseband=n_baseband, seed=seed
+        )
+    else:
+        measurements = measure_modulator_snr_batch(
+            chip, keys, standard, n_fft=n_fft, seed=seed
+        )
+    return np.array([m.snr_db for m in measurements])

@@ -1,7 +1,12 @@
-"""Run every experiment and render the full report.
+"""Engine-aware experiment registry and report runner.
 
 ``python -m repro.experiments.runner`` regenerates all paper artefacts
-(quick mode by default; ``--full`` uses paper-size parameters).
+(quick mode by default; ``--full`` uses paper-size parameters).  Every
+artefact is an :class:`ExperimentSpec` in a named registry, so runs can
+be filtered (``--only fig7 --only fig9``), listed (``--list``) and
+timed per experiment; ``--backend`` selects the simulation-engine
+backend (the backends are bit-exact, so the numbers are identical —
+only the wall clock changes).
 """
 
 from __future__ import annotations
@@ -9,7 +14,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
+from repro.engine import BACKENDS, get_default_engine, set_default_backend
 from repro.experiments import (
     fig07_invalid_keys,
     fig08_transient,
@@ -24,47 +32,193 @@ from repro.experiments import (
     table_baselines,
     table_keyspace,
 )
-
-#: (module, quick-mode kwargs, full-mode kwargs)
-EXPERIMENTS = (
-    (fig07_invalid_keys, {"n_keys": 30, "n_fft": 2048}, {"n_keys": 100, "n_fft": 8192}),
-    (fig08_transient, {"n_samples": 256}, {"n_samples": 512}),
-    (fig09_receiver_snr, {"n_keys": 20, "n_baseband": 256}, {"n_keys": 100, "n_baseband": 512}),
-    (fig10_psd, {"n_fft": 4096}, {"n_fft": 8192}),
-    (fig11_dynamic_range, {"power_step_dbm": 10.0, "n_fft": 2048}, {"power_step_dbm": 5.0, "n_fft": 4096}),
-    (fig12_sfdr, {"n_fft": 4096}, {"n_fft": 8192}),
-    (table_attack_cost, {"n_keys": 30, "n_fft": 2048}, {"n_keys": 100, "n_fft": 2048}),
-    (table_keyspace, {"trials_per_distance": 4}, {"trials_per_distance": 8}),
-    (table_baselines, {"n_random_keys": 8}, {"n_random_keys": 16}),
-    (sweep_standards, {"standard_indices": (0, 7), "n_keys": 10}, {"standard_indices": (0, 2, 5, 7), "n_keys": 20}),
-    (security_sat, {"n_key_bits": 6}, {"n_key_bits": 8}),
-    (security_optimization, {"budget": 60}, {"budget": 150}),
-)
+from repro.experiments.common import ExperimentResult
 
 
-def run_all(full: bool = False, stream=None) -> list:
-    """Run every experiment; returns the result list."""
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    Attributes:
+        name: Registry key (the artefact id, e.g. ``fig7``).
+        title: Human-readable summary for ``--list``.
+        run: Driver callable returning an :class:`ExperimentResult`.
+        quick: Keyword arguments for quick mode.
+        full: Keyword arguments for paper-size mode.
+    """
+
+    name: str
+    title: str
+    run: Callable[..., ExperimentResult]
+    quick: Mapping[str, object] = field(default_factory=dict)
+    full: Mapping[str, object] = field(default_factory=dict)
+
+    def execute(self, full: bool = False) -> ExperimentResult:
+        """Run the driver with the mode's parameters."""
+        kwargs = dict(self.full if full else self.quick)
+        return self.run(**kwargs)
+
+
+#: Registration order is report order.
+REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add an experiment to the registry (name must be unique)."""
+    if spec.name in REGISTRY:
+        raise ValueError(f"experiment {spec.name!r} already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+for _spec in (
+    ExperimentSpec(
+        "fig7", "SNR at modulator output, correct vs invalid keys",
+        fig07_invalid_keys.run,
+        quick={"n_keys": 30, "n_fft": 2048},
+        full={"n_keys": 100, "n_fft": 8192},
+    ),
+    ExperimentSpec(
+        "fig8", "transient bitstream vs analog passthrough",
+        fig08_transient.run,
+        quick={"n_samples": 256}, full={"n_samples": 512},
+    ),
+    ExperimentSpec(
+        "fig9", "SNR at receiver output, same key population",
+        fig09_receiver_snr.run,
+        quick={"n_keys": 20, "n_baseband": 256},
+        full={"n_keys": 100, "n_baseband": 512},
+    ),
+    ExperimentSpec(
+        "fig10", "output PSD, noise shaping vs none",
+        fig10_psd.run,
+        quick={"n_fft": 4096}, full={"n_fft": 8192},
+    ),
+    ExperimentSpec(
+        "fig11", "SNR vs input power over three VGLNA segments",
+        fig11_dynamic_range.run,
+        quick={"power_step_dbm": 10.0, "n_fft": 2048},
+        full={"power_step_dbm": 5.0, "n_fft": 4096},
+    ),
+    ExperimentSpec(
+        "fig12", "two-tone SFDR",
+        fig12_sfdr.run,
+        quick={"n_fft": 4096}, full={"n_fft": 8192},
+    ),
+    ExperimentSpec(
+        "tab-attack", "Sec. VI-B.1 brute-force cost accounting",
+        table_attack_cost.run,
+        quick={"n_keys": 30, "n_fft": 2048},
+        full={"n_keys": 100, "n_fft": 2048},
+    ),
+    ExperimentSpec(
+        "tab-keys", "Sec. VI-B key-space structure",
+        table_keyspace.run,
+        quick={"trials_per_distance": 4}, full={"trials_per_distance": 8},
+    ),
+    ExperimentSpec(
+        "tab-ovr", "Secs. II/IV-A comparison vs prior schemes",
+        table_baselines.run,
+        quick={"n_random_keys": 8}, full={"n_random_keys": 16},
+    ),
+    ExperimentSpec(
+        "sweep-std", "lock efficiency across centre frequencies",
+        sweep_standards.run,
+        quick={"standard_indices": (0, 7), "n_keys": 10},
+        full={"standard_indices": (0, 2, 5, 7), "n_keys": 20},
+    ),
+    ExperimentSpec(
+        "sat-na", "Sec. IV-B.1 SAT-attack applicability",
+        security_sat.run,
+        quick={"n_key_bits": 6}, full={"n_key_bits": 8},
+    ),
+    ExperimentSpec(
+        "opt-attack", "Sec. IV-B.3 uninformed attacks vs calibration",
+        security_optimization.run,
+        quick={"budget": 60}, full={"budget": 150},
+    ),
+):
+    register(_spec)
+
+
+def run_all(
+    full: bool = False,
+    stream=None,
+    backend: str | None = None,
+    names: list[str] | None = None,
+) -> list[ExperimentResult]:
+    """Run the selected experiments; returns the result list.
+
+    Args:
+        full: Paper-size parameters instead of quick mode.
+        stream: Output stream (stdout by default).
+        backend: Optional engine backend override for the whole run.
+        names: Optional registry-name filter (report order preserved).
+    """
     stream = stream or sys.stdout
+    if backend is not None:
+        set_default_backend(backend)
+    selected = list(REGISTRY.values())
+    if names:
+        unknown = set(names) - set(REGISTRY)
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s) {sorted(unknown)}; "
+                f"known: {sorted(REGISTRY)}"
+            )
+        selected = [spec for spec in selected if spec.name in names]
     results = []
-    for module, quick_kwargs, full_kwargs in EXPERIMENTS:
-        kwargs = full_kwargs if full else quick_kwargs
+    timings: list[tuple[str, float]] = []
+    for spec in selected:
         start = time.time()
-        result = module.run(**kwargs)
+        result = spec.execute(full=full)
         elapsed = time.time() - start
         results.append(result)
+        timings.append((spec.name, elapsed))
         print(result.format_table(), file=stream)
         print(f"# completed in {elapsed:.1f} s\n", file=stream)
+    engine = get_default_engine()
+    print("== timing summary ==", file=stream)
+    for name, elapsed in timings:
+        print(f"{name:12s} {elapsed:8.1f} s", file=stream)
+    print(
+        f"# engine backend={engine.backend}: {engine.stats.n_requests} "
+        f"simulations in {engine.stats.n_batches} batches "
+        f"({engine.stats.n_vectorized_runs} vectorized, "
+        f"{engine.stats.n_reference_runs} reference), "
+        f"{engine.stats.integrate_seconds:.1f} s integrating",
+        file=stream,
+    )
     return results
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--full", action="store_true", help="paper-size parameters (slower)"
     )
-    args = parser.parse_args()
-    run_all(full=args.full)
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="simulation engine backend (bit-exact; affects speed only)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for spec in REGISTRY.values():
+            print(f"{spec.name:12s} {spec.title}")
+        return
+    run_all(full=args.full, backend=args.backend, names=args.only)
 
 
 if __name__ == "__main__":

@@ -10,10 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult, calibrated, hero_chip
+from repro.experiments.common import (
+    ExperimentResult,
+    calibrated,
+    hero_chip,
+    measure_keys,
+)
 from repro.locking.metrics import key_population_study
 from repro.locking.specs import PerformanceSpec
-from repro.receiver.performance import measure_receiver_snr
 from repro.receiver.standards import STANDARDS
 
 
@@ -56,15 +60,24 @@ def run(
             n_fft=n_fft,
         )
         spec = PerformanceSpec.for_standard(standard)
-        confirmed = 0
-        for key, snr in zip(study.keys, study.invalid_snrs_db):
-            if snr < spec.snr_min_db:
-                continue
-            snr_rx = measure_receiver_snr(
-                chip, key, standard, n_baseband=256
-            ).snr_db
-            if spec.meets(snr_db=float(snr), snr_rx_db=snr_rx):
-                confirmed += 1
+        # Receiver-output adjudication of the suspects, as one batch.
+        suspects = [
+            (key, snr)
+            for key, snr in zip(study.keys, study.invalid_snrs_db)
+            if snr >= spec.snr_min_db
+        ]
+        rx_snrs = measure_keys(
+            chip,
+            [key for key, _ in suspects],
+            standard,
+            at_receiver=True,
+            n_baseband=256,
+        )
+        confirmed = sum(
+            1
+            for (_, snr), snr_rx in zip(suspects, rx_snrs)
+            if spec.meets(snr_db=float(snr), snr_rx_db=float(snr_rx))
+        )
         result.rows.append(
             (
                 standard.name,

@@ -14,12 +14,14 @@ key (paper Sec. IV-A, Fig. 2).  This module packages that idea:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.calibration.procedure import CalibrationResult, Calibrator
 from repro.locking.specs import PerformanceSpec
 from repro.receiver.config import ConfigWord
 from repro.receiver.performance import (
     measure_modulator_snr,
+    measure_modulator_snr_batch,
     measure_receiver_snr,
     measure_sfdr,
 )
@@ -122,6 +124,34 @@ class ProgrammabilityLock:
             sfdr_db=sfdr,
             unlocked=spec.meets(snr_db=snr, snr_rx_db=snr_rx, sfdr_db=sfdr),
         )
+
+    def evaluate_keys(
+        self,
+        keys: Sequence[ConfigWord],
+        standard: Standard,
+        n_fft: int | None = None,
+        seed: int = 0,
+    ) -> list[KeyEvaluation]:
+        """Batched modulator-output adjudication of many keys.
+
+        Equivalent to calling :meth:`evaluate_key` per key (the engine
+        backends are bit-exact), but the whole population is measured in
+        one batched engine submission.
+        """
+        spec = PerformanceSpec.for_standard(standard)
+        measurements = measure_modulator_snr_batch(
+            self.chip, keys, standard, n_fft=n_fft, seed=seed
+        )
+        return [
+            KeyEvaluation(
+                key=key,
+                snr_db=m.snr_db,
+                snr_rx_db=None,
+                sfdr_db=None,
+                unlocked=spec.meets(snr_db=m.snr_db),
+            )
+            for key, m in zip(keys, measurements)
+        ]
 
     def is_unlocked_by(self, key: ConfigWord, standard: Standard, seed: int = 0) -> bool:
         """Quick adjudication on modulator-output SNR alone."""

@@ -4,7 +4,10 @@
 locking and attacks all operate on chips strictly through simulation of
 their configured behaviour — exactly the oracle access the paper's
 threat model grants ("the attacker ... has the netlist and access to
-working oracle chips").
+working oracle chips").  All simulation goes through the batched
+:class:`repro.engine.SimulationEngine`; the ``simulate_*`` methods are
+single-request conveniences that delegate to the process default
+engine.
 """
 
 from __future__ import annotations
@@ -21,15 +24,15 @@ from repro.blocks import (
     TunableLcTank,
     Vglna,
 )
+from repro.engine.cache import BoundedCache
 from repro.process.variations import ChipVariations, typical_chip
-from repro.receiver.chain import DigitalChain, ReceiverResult
+from repro.receiver.chain import ReceiverResult
 from repro.receiver.config import ConfigWord, DigitalConfig
 from repro.receiver.design import NOMINAL_DESIGN, ReceiverDesign
 from repro.receiver.sdm import (
     ModulatorBlocks,
     ModulatorResult,
     oscillation_config,
-    simulate_modulator,
 )
 from repro.receiver.stimulus import ToneStimulus
 
@@ -41,6 +44,7 @@ class Chip:
     design: ReceiverDesign = field(default_factory=lambda: NOMINAL_DESIGN)
     variations: ChipVariations = field(default_factory=typical_chip)
     _blocks: ModulatorBlocks | None = field(default=None, init=False, repr=False)
+    _disc_cache: BoundedCache | None = field(default=None, init=False, repr=False)
 
     @property
     def chip_id(self) -> int:
@@ -68,6 +72,19 @@ class Chip:
             )
         return self._blocks
 
+    @property
+    def discretisation_cache(self) -> BoundedCache:
+        """Per-chip memo of ZOH tank discretisations, ``(cc, cf, h)``.
+
+        Chip state like :attr:`blocks` — the matrices depend only on
+        this chip's tank and the step size, and computing them (a matrix
+        exponential) dominates short simulations, so the engine reuses
+        them across every request that hits the same capacitor codes.
+        """
+        if self._disc_cache is None:
+            self._disc_cache = BoundedCache(maxsize=1024)
+        return self._disc_cache
+
     def simulate_modulator(
         self,
         config: ConfigWord,
@@ -79,18 +96,22 @@ class Chip:
         initial_state: tuple[float, float] = (0.0, 0.0),
     ) -> ModulatorResult:
         """Transient simulation of the configured modulator."""
+        # Deferred: the engine package imports this module's siblings.
+        from repro.engine.engine import get_default_engine
+        from repro.engine.request import ModulatorRequest
+
         if n_samples is None:
             n_samples = self.design.fft_points
-        return simulate_modulator(
-            self.blocks,
-            config,
-            stimulus,
+        request = ModulatorRequest(
+            config=config,
+            stimulus=stimulus,
             fs=fs,
             n_samples=n_samples,
             seed=seed,
             substeps=substeps,
             initial_state=initial_state,
         )
+        return get_default_engine().run_one(self, request)
 
     def simulate_receiver(
         self,
@@ -110,20 +131,21 @@ class Chip:
         the paper's observation that receiver-output measurements are
         the slow ones (20 minutes per SNR point on their testbed).
         """
-        mod = self.simulate_modulator(
-            config,
-            stimulus,
-            fs,
-            n_samples=n_baseband * self.design.osr,
+        from repro.engine.engine import get_default_engine
+        from repro.engine.request import ReceiverRequest
+
+        if n_baseband <= 0:
+            raise ValueError(f"n_baseband must be positive, got {n_baseband}")
+        request = ReceiverRequest(
+            config=config,
+            stimulus=stimulus,
+            fs=fs,
+            n_baseband=n_baseband,
             seed=seed,
             substeps=substeps,
+            digital_config=digital_config,
         )
-        chain = DigitalChain(
-            osr=self.design.osr,
-            logic_threshold=self.design.front_end.logic_threshold,
-            digital_config=digital_config or DigitalConfig(),
-        )
-        return chain.process(mod.output, fs)
+        return get_default_engine().run_receiver_one(self, request)
 
     def simulate_oscillation(
         self,

@@ -1,4 +1,4 @@
-"""Continuous-time band-pass sigma-delta modulator simulation engine.
+"""Continuous-time band-pass sigma-delta modulator: result/block records.
 
 The loop of Fig. 6 — Gmin, LC tank with -Gm enhancement, pre-amplifier,
 clocked comparator, loop delay, NRZ feedback DAC — is integrated with an
@@ -10,8 +10,8 @@ piecewise-constant over a sub-interval, which at 4 substeps per clock
 (48 GHz update rate for the 3 GHz standard) is far inside the accuracy
 needed for behavioural security experiments.
 
-Everything the configuration word controls is honoured here, including
-the loop-topology enables that the calibration procedure manipulates:
+Everything the configuration word controls is honoured, including the
+loop-topology enables that the calibration procedure manipulates:
 
 * ``fb_en``/``dac_en`` open the feedback loop (steps 4, 8),
 * ``comp_clk_en`` turns the comparator into a buffer (step 1) — with the
@@ -20,15 +20,19 @@ the loop-topology enables that the calibration procedure manipulates:
 * ``gmin_en`` disconnects the RF input (step 3),
 * maximum ``gmq_code`` with the loop open puts the tank in oscillation
   mode (step 5).
+
+The integrator itself lives in :mod:`repro.engine` (per-key setup in
+``engine.plan``, the scalar reference recursion in ``engine.reference``
+and the batched key-axis recursion in ``engine.vectorized``); this
+module keeps the data records shared by all of them plus the
+:func:`simulate_modulator` convenience entry point for single keys.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import expm
 
 from repro.blocks import (
     Comparator,
@@ -83,16 +87,6 @@ class ModulatorBlocks:
     bias_global_step: float
 
 
-def _discretise_tank(
-    tank: TunableLcTank, cc: int, cf: int, h: float
-) -> tuple[np.ndarray, np.ndarray]:
-    """Exact ZOH discretisation of the tank over step ``h`` seconds."""
-    a, b = tank.state_matrices(cc, cf)
-    ad = expm(a * h)
-    bd = np.linalg.solve(a, (ad - np.eye(2)) @ b)
-    return ad, bd
-
-
 def simulate_modulator(
     blocks: ModulatorBlocks,
     config: ConfigWord,
@@ -104,6 +98,10 @@ def simulate_modulator(
     initial_state: tuple[float, float] = (0.0, 0.0),
 ) -> ModulatorResult:
     """Transient-simulate the modulator for ``n_samples`` clock periods.
+
+    Single-key entry point over the engine's reference backend; batch
+    work should go through :class:`repro.engine.SimulationEngine`, which
+    can amortise the recursion across many keys.
 
     Args:
         blocks: The chip's analog blocks.
@@ -120,135 +118,21 @@ def simulate_modulator(
     Returns:
         A :class:`ModulatorResult`.
     """
-    if n_samples <= 0:
-        raise ValueError(f"n_samples must be positive, got {n_samples}")
-    if substeps < 2:
-        raise ValueError(f"need at least 2 substeps, got {substeps}")
-    rng = np.random.default_rng(seed)
-    h = 1.0 / (fs * substeps)
-    ad, bd = _discretise_tank(blocks.tank, config.cc_coarse, config.cf_fine, h)
-    a11, a12 = float(ad[0, 0]), float(ad[0, 1])
-    a21, a22 = float(ad[1, 0]), float(ad[1, 1])
-    b1, b2 = float(bd[0, 0]), float(bd[1, 0])
+    # Deferred import: the engine package imports this module's records.
+    from repro.engine.plan import build_plan
+    from repro.engine.reference import simulate_plan
+    from repro.engine.request import ModulatorRequest
 
-    bias_scale = 1.0 + (config.bias_global - 4) * blocks.bias_global_step
-
-    # Input path, fully vectorised: RF tones -> VGLNA -> Gmin current.
-    t = np.arange(n_samples * substeps) * h
-    v_rf = stimulus.sample(t)
-    v_lna = blocks.vglna.process(
-        v_rf, config.lna_gain, bandwidth=0.5 / h, rng=rng
-    )
-    i_sig = blocks.gmin.output_current(
-        v_lna, config.gmin_code, enabled=bool(config.gmin_en), bias_scale=bias_scale
-    )
-    # Tank current noise, piecewise constant per substep.
-    sigma_i = blocks.tank_current_noise * math.sqrt(0.5 / h)
-    i_noise = rng.normal(0.0, sigma_i, i_sig.shape)
-    i_in = i_sig + i_noise
-
-    feedback_on = bool(config.fb_en) and bool(config.dac_en)
-    clocked = bool(config.comp_clk_en)
-    tau = blocks.delay.delay_periods(config.delay_code)
-    delay_whole = int(tau)
-    switch_substep = (tau - delay_whole) * substeps
-    # In normal mode the DAC drive is +/-1: precompute the switched current.
-    i_dac_unit = blocks.dac.output_current(
-        1.0, config.dac_code, enabled=feedback_on, bias_scale=bias_scale
-    )
-    comp_noise = rng.normal(0.0, 1.0, n_samples)
-    comp_noise_out = rng.normal(0.0, 1.0, n_samples)
-    dither = (
-        blocks.dither_amplitude * rng.uniform(-1.0, 1.0, n_samples)
-        if config.dither_en
-        else np.zeros(n_samples)
-    )
-    chop_sign = 1.0
-    chop_offset = blocks.comparator.offset(config.comp_code)
-
-    gmq_gm = blocks.tank.gmq(config.gmq_code)
-    vsat = blocks.tank.design.gmq_vsat
-    preamp_gain = blocks.preamp.gain(config.preamp_code, bias_scale)
-    v_clip = blocks.preamp.design.preamp_v_clip
-    buf_gain = blocks.buffer.gain(config.buffer_code)
-
-    tanh = math.tanh
-    v, il = initial_state
-    # Decision history d[n], d[n-1], d[n-2]: the programmable delay can
-    # reach back almost two clock periods.
-    d0 = d1 = d2 = -1.0
-    output = np.empty(n_samples)
-    bits = np.empty(n_samples)
-    tank_v = np.empty(n_samples)
-    i_in_list = i_in.tolist()
-
-    decision_sigma = blocks.comparator.decision_noise(config.comp_code)
-    hysteresis = blocks.comparator.design.comp_hysteresis
-
-    for n in range(n_samples):
-        tank_v[n] = v
-        v_pre = v_clip * tanh(preamp_gain * v / v_clip)
-        if clocked:
-            v_eff = (
-                v_pre
-                + chop_sign * chop_offset
-                + comp_noise[n] * decision_sigma
-                + dither[n]
-                + hysteresis * d0
-            )
-            d2 = d1
-            d1 = d0
-            d0 = 1.0 if v_eff >= 0.0 else -1.0
-            bits[n] = d0
-            output[n] = d0 * buf_gain
-        else:
-            d2 = d1
-            d1 = d0
-            bits[n] = 0.0
-            y_buf = blocks.comparator.buffer_output(
-                v_pre, config.comp_code, comp_noise[n], comp_noise_out[n]
-            )
-            output[n] = y_buf * buf_gain
-        if config.chop_en:
-            chop_sign = -chop_sign
-
-        if delay_whole == 0:
-            d_early, d_late = d1, d0
-        else:
-            d_early, d_late = d2, d1
-
-        base = n * substeps
-        for j in range(substeps):
-            if clocked:
-                drive_bit = d_early if j < switch_substep else d_late
-                i_fb = i_dac_unit * drive_bit
-            elif feedback_on:
-                # Buffer mode with the loop closed: the DAC sees the
-                # clipped open-loop comparator output and switches
-                # partially.
-                v_pre_now = v_clip * tanh(preamp_gain * v / v_clip)
-                y_now = blocks.comparator.buffer_output(
-                    v_pre_now, config.comp_code, 0.0
-                )
-                i_fb = i_dac_unit * tanh(y_now / 0.3) / 0.995055
-            else:
-                i_fb = 0.0
-            i_gmq = gmq_gm * vsat * tanh(v / vsat)
-            # The feedback current is injected with positive polarity:
-            # around fs/4 the resonator's sampled pulse response supplies
-            # the loop inversion (see module docstring of blocks.dac /
-            # the z^-2 K/(1+z^-2) analysis), so +i_fb is the stable,
-            # noise-shaping polarity.
-            u = i_in_list[base + j] + i_gmq + i_fb
-            v, il = a11 * v + a12 * il + b1 * u, a21 * v + a22 * il + b2 * u
-
-    return ModulatorResult(
-        output=output,
-        bits=bits,
-        tank_voltage=tank_v,
+    request = ModulatorRequest(
+        config=config,
+        stimulus=stimulus,
         fs=fs,
-        is_bitstream=clocked,
+        n_samples=n_samples,
+        seed=seed,
+        substeps=substeps,
+        initial_state=initial_state,
     )
+    return simulate_plan(build_plan(blocks, request))
 
 
 def oscillation_config(config: ConfigWord, gmq_code: int | None = None) -> ConfigWord:

@@ -1,0 +1,269 @@
+"""Batched simulation engine: backend bit-exactness, batching/grouping,
+engine-owned caches, request validation and the runner registry."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BACKENDS,
+    BoundedCache,
+    ModulatorRequest,
+    ReceiverRequest,
+    SimulationEngine,
+    get_default_engine,
+    set_default_backend,
+)
+from repro.receiver import (
+    Chip,
+    ConfigWord,
+    STANDARDS,
+    ToneStimulus,
+    oscillation_config,
+    stimulus_frequency,
+)
+
+STD = STANDARDS[0]
+N = 256
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return Chip()
+
+
+def _stim():
+    return ToneStimulus.single(stimulus_frequency(STD, 64, N), -25.0)
+
+
+def _mixed_mode_requests(rng):
+    """Clocked, buffer-mode, open-loop, oscillation and random keys —
+    every loop-topology branch of the integrator, across seeds."""
+    base = ConfigWord(
+        lna_gain=7, cc_coarse=10, cf_fine=128, gmq_code=20, gmin_code=24,
+        preamp_code=20, comp_code=31, dac_code=32, delay_code=12,
+        buffer_code=4,
+    )
+    configs = [
+        base,  # clocked, loop closed
+        base.replace(comp_clk_en=0),  # buffer mode, loop closed
+        base.replace(fb_en=0),  # clocked, loop open
+        base.replace(comp_clk_en=0, fb_en=0),  # fully open buffer
+        oscillation_config(base),  # free-running tank
+        base.replace(dither_en=1, chop_en=1, delay_code=3),  # aux paths
+        ConfigWord.random(rng),
+        ConfigWord.random(rng),
+        ConfigWord.random(rng),
+    ]
+    stim = _stim()
+    return [
+        ModulatorRequest(
+            config=config,
+            stimulus=ToneStimulus.off() if i == 4 else stim,
+            fs=STD.fs,
+            n_samples=N,
+            seed=i,
+            initial_state=(1e-3, 0.0) if i == 4 else (0.0, 0.0),
+        )
+        for i, config in enumerate(configs)
+    ]
+
+
+class TestBitExactness:
+    def test_vectorized_matches_reference_on_mixed_batch(self, chip, rng):
+        requests = _mixed_mode_requests(rng)
+        ref = SimulationEngine(backend="reference").run(chip, requests)
+        vec = SimulationEngine(backend="vectorized").run(chip, requests)
+        for i, (a, b) in enumerate(zip(ref, vec)):
+            assert np.array_equal(a.output, b.output), f"output differs at {i}"
+            assert np.array_equal(a.bits, b.bits), f"bits differ at {i}"
+            assert np.array_equal(
+                a.tank_voltage, b.tank_voltage
+            ), f"tank_voltage differs at {i}"
+            assert a.is_bitstream == b.is_bitstream
+            assert a.fs == b.fs
+
+    def test_batch_composition_does_not_change_results(self, chip, rng):
+        """A key simulated alone equals the same key inside a batch."""
+        requests = _mixed_mode_requests(rng)
+        engine = SimulationEngine(backend="vectorized")
+        batch = engine.run(chip, requests)
+        for request, batched in zip(requests[:4], batch[:4]):
+            alone = engine.run(chip, [request])[0]
+            assert np.array_equal(alone.output, batched.output)
+
+    def test_chip_entry_point_matches_engine(self, chip):
+        """Chip.simulate_modulator goes through the engine unchanged."""
+        config = ConfigWord()
+        direct = chip.simulate_modulator(config, _stim(), STD.fs, n_samples=N, seed=3)
+        via_engine = SimulationEngine(backend="reference").run_one(
+            chip,
+            ModulatorRequest(
+                config=config, stimulus=_stim(), fs=STD.fs, n_samples=N, seed=3
+            ),
+        )
+        assert np.array_equal(direct.output, via_engine.output)
+
+    def test_receiver_chain_matches_across_backends(self, chip):
+        request = ReceiverRequest(
+            config=ConfigWord(), stimulus=_stim(), fs=STD.fs, n_baseband=16
+        )
+        ref = SimulationEngine(backend="reference").run_receiver_one(chip, request)
+        vec = SimulationEngine(backend="vectorized").run_receiver_one(chip, request)
+        assert np.array_equal(ref.baseband, vec.baseband)
+        assert ref.fs_out == vec.fs_out
+
+
+class TestBatching:
+    def test_results_in_request_order_across_time_grids(self, chip):
+        """Mixed record lengths are grouped yet returned in order."""
+        stim = _stim()
+        requests = [
+            ModulatorRequest(
+                config=ConfigWord(), stimulus=stim, fs=STD.fs,
+                n_samples=128 if i % 2 else 64, seed=i,
+            )
+            for i in range(6)
+        ]
+        results = SimulationEngine(backend="reference").run(chip, requests)
+        for request, result in zip(requests, results):
+            assert result.output.size == request.n_samples
+
+    def test_stats_count_requests_and_batches(self, chip):
+        engine = SimulationEngine(backend="reference")
+        stim = _stim()
+        engine.run(
+            chip,
+            [
+                ModulatorRequest(
+                    config=ConfigWord(), stimulus=stim, fs=STD.fs,
+                    n_samples=64, seed=i,
+                )
+                for i in range(5)
+            ],
+        )
+        assert engine.stats.n_requests == 5
+        assert engine.stats.n_batches == 1
+        assert engine.stats.n_reference_runs == 5
+        assert engine.stats.n_vectorized_runs == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(backend="cuda")
+        with pytest.raises(ValueError):
+            set_default_backend("cuda")
+        assert get_default_engine().backend in BACKENDS
+
+
+class TestRequestValidation:
+    def test_modulator_request_guards(self):
+        with pytest.raises(ValueError):
+            ModulatorRequest(
+                config=ConfigWord(), stimulus=_stim(), fs=STD.fs, n_samples=0
+            )
+        with pytest.raises(ValueError):
+            ModulatorRequest(
+                config=ConfigWord(), stimulus=_stim(), fs=STD.fs,
+                n_samples=16, substeps=1,
+            )
+
+    @pytest.mark.parametrize("n_baseband", [0, -5])
+    def test_receiver_request_rejects_bad_n_baseband(self, n_baseband):
+        with pytest.raises(ValueError, match="n_baseband"):
+            ReceiverRequest(
+                config=ConfigWord(), stimulus=_stim(), fs=STD.fs,
+                n_baseband=n_baseband,
+            )
+
+    @pytest.mark.parametrize("n_baseband", [0, -1])
+    def test_simulate_receiver_rejects_bad_n_baseband(self, chip, n_baseband):
+        """Regression: this used to fail deep inside the decimator."""
+        with pytest.raises(ValueError, match="n_baseband"):
+            chip.simulate_receiver(
+                ConfigWord(), _stim(), STD.fs, n_baseband=n_baseband
+            )
+
+
+class TestBoundedCache:
+    def test_eviction_is_lru(self):
+        cache = BoundedCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_get_or_set_computes_once(self):
+        cache = BoundedCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_set("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedCache(maxsize=0)
+
+
+class TestEngineCaches:
+    def test_calibration_cache_bounded_and_clearable(self, chip):
+        engine = SimulationEngine(calibration_cache_size=2)
+        calls = []
+
+        def factory_for(tag):
+            def factory():
+                calls.append(tag)
+                return tag
+
+            return factory
+
+        std0, std1, std2 = STANDARDS[0], STANDARDS[1], STANDARDS[2]
+        assert engine.calibrated(chip, std0, factory_for("a")) == "a"
+        assert engine.calibrated(chip, std0, factory_for("a2")) == "a"  # hit
+        assert engine.calibrated(chip, std1, factory_for("b")) == "b"
+        assert engine.calibrated(chip, std2, factory_for("c")) == "c"  # evicts std0
+        assert engine.calibrated(chip, std0, factory_for("a3")) == "a3"
+        assert calls == ["a", "b", "c", "a3"]
+        engine.clear_caches()
+        assert len(engine.calibration_cache) == 0
+        assert engine.stats.n_requests == 0
+
+    def test_experiments_calibrated_uses_engine_cache(self):
+        from repro.experiments.common import calibrated, clear_caches, hero_chip
+
+        engine = get_default_engine()
+        clear_caches()
+        chip = hero_chip()
+        first = calibrated(chip, STANDARDS[0])
+        assert len(engine.calibration_cache) == 1
+        assert calibrated(hero_chip(), STANDARDS[0]) is first  # same die -> hit
+        clear_caches()
+        assert len(engine.calibration_cache) == 0
+
+
+class TestRunnerRegistry:
+    def test_all_artefacts_registered(self):
+        from repro.experiments.runner import REGISTRY
+
+        assert list(REGISTRY) == [
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "tab-attack", "tab-keys", "tab-ovr", "sweep-std",
+            "sat-na", "opt-attack",
+        ]
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.runner import REGISTRY, register
+
+        with pytest.raises(ValueError):
+            register(next(iter(REGISTRY.values())))
+
+    def test_unknown_name_rejected(self):
+        from repro.experiments.runner import run_all
+
+        with pytest.raises(KeyError):
+            run_all(names=["fig99"])
