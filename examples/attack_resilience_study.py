@@ -1,60 +1,59 @@
 """Attack-resilience study: every attack of Sec. IV-B against one chip.
 
-Runs brute force, simulated annealing, a genetic algorithm and the
-leaked-key transfer attack against a measurement oracle, prints the
-cost accounting of Sec. VI-B.1, and shows the SAT attack refusing the
-analog target while dismantling a logic-locked baseline.
+Runs brute force, simulated annealing and the leaked-key transfer
+attack as one campaign through the unified attack API (every cell
+returns the same AttackReport schema), prints the cost accounting of
+Sec. VI-B.1, and shows the SAT attack refusing the analog target while
+dismantling a logic-locked baseline.
 
 Run:  python examples/attack_resilience_study.py
 """
 
-import numpy as np
-
-from repro.attacks import (
-    AttackCostModel,
-    BruteForceAttack,
-    MeasurementOracle,
-    SatAttackNotApplicable,
-    SimulatedAnnealingAttack,
-    TransferAttack,
-    assert_sat_attack_applicable,
-    format_years,
-)
-from repro.baselines import MixLock
+from repro.attacks import AttackCostModel, format_years
+from repro.baselines import MixLock, ProposedFabricLock
 from repro.calibration import Calibrator
+from repro.campaigns import CampaignCell, ChipSpec, Sat, ThreatScenario, run_campaign
 from repro.locking import ProgrammabilityLock
 from repro.locking.metrics import structural_unlocking_bound
-from repro.process import ChipFactory
-from repro.receiver import Chip, STANDARDS
+from repro.receiver import STANDARDS
 
 BUDGET = 80
 
 
 def main() -> None:
-    fab = ChipFactory(lot_seed=2020)
-    victim = Chip(variations=fab.draw(0))
+    victim_spec = ChipSpec(chip_id=0)
+    victim = victim_spec.build()
     standard = STANDARDS[0]
     calibrator = Calibrator(n_fft=2048, optimizer_passes=1, sfdr_weight=0.0)
     secret = calibrator.calibrate(victim, standard)
     print(f"victim chip calibrated: SNR {secret.snr_db:.1f} dB with "
           f"{secret.n_measurements} guided measurements\n")
 
-    oracle = MeasurementOracle(chip=victim, standard=standard, n_fft=2048)
-    brute = BruteForceAttack(oracle, rng=np.random.default_rng(1)).run(BUDGET)
-    print(f"brute force     : best {brute.best_snr_db:5.1f} dB after "
-          f"{brute.n_trials} trials -> {brute.summary()}")
-
-    oracle = MeasurementOracle(chip=victim, standard=standard, n_fft=2048)
-    sa = SimulatedAnnealingAttack(oracle, rng=np.random.default_rng(2)).run(BUDGET)
-    print(f"annealing       : best {sa.best_score:5.1f} dB after "
-          f"{sa.n_queries} queries (success={sa.success})")
-
-    donor = Chip(variations=fab.draw(5))
+    # The attacker's leaked key: the donor die calibrated on the same
+    # (attacker-grade) bench flow.
+    donor = ChipSpec(chip_id=5).build()
     leaked = calibrator.calibrate(donor, standard).config
-    oracle = MeasurementOracle(chip=victim, standard=standard, n_fft=2048)
-    transfer = TransferAttack(oracle, rng=np.random.default_rng(3)).run(leaked)
-    print(f"transfer attack : {transfer.start_snr_db:5.1f} dB verbatim -> "
-          f"{transfer.final_snr_db:5.1f} dB after {transfer.n_queries} queries "
+
+    base = ThreatScenario(
+        chip=victim_spec, standard_index=standard.index, budget=BUDGET, n_fft=2048
+    )
+    cells = [
+        CampaignCell("brute-force", base.with_(seed=1)),
+        CampaignCell("annealing", base.with_(seed=2)),
+        CampaignCell(
+            "transfer",
+            base.with_(seed=3),
+            attack_params=(("leaked_key", leaked.encode()),),
+        ),
+    ]
+    brute, sa, transfer = run_campaign(cells).reports
+
+    print(f"brute force     : best {brute.best_metric_db:5.1f} dB after "
+          f"{brute.extra('n_trials')} trials -> {brute.summary()}")
+    print(f"annealing       : best {sa.best_metric_db:5.1f} dB after "
+          f"{sa.n_queries} queries (success={sa.success})")
+    print(f"transfer attack : {transfer.extra('start_snr_db'):5.1f} dB verbatim -> "
+          f"{transfer.best_metric_db:5.1f} dB after {transfer.n_queries} queries "
           f"(success={transfer.success})  <- the avenue the paper concedes")
 
     bound = structural_unlocking_bound(victim, secret.config)
@@ -65,14 +64,14 @@ def main() -> None:
 
     print("\n-- SAT attack applicability --")
     lock = ProgrammabilityLock(chip=victim)
-    try:
-        assert_sat_attack_applicable(lock)
-    except SatAttackNotApplicable as exc:
-        print(f"fabric lock: {exc}")
+    lock._lut[standard.index] = secret
+    fabric = ProposedFabricLock(lock=lock, standard=standard)
+    fabric_report = Sat().adjudicate(fabric)
+    print(f"fabric lock: {fabric_report.extra('reason')}")
     mixlock = MixLock(n_key_bits=8)
-    sat = mixlock.run_sat_attack()
-    print(f"MixLock baseline: key recovered with {sat.n_oracle_queries} "
-          f"oracle queries (functionally correct: {mixlock.unlocks(sat.key)})")
+    sat_report = Sat().adjudicate(mixlock)
+    print(f"MixLock baseline: key recovered with {sat_report.n_queries} "
+          f"oracle queries (functionally correct: {sat_report.success})")
 
 
 if __name__ == "__main__":

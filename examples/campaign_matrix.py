@@ -1,0 +1,100 @@
+"""Full attack x defense x standard sweep through one run_campaign call.
+
+Expands every registered attack against the proposed fabric lock and
+three baseline schemes, executes the campaign (optionally sharded
+across worker processes and/or over a fleet of distinct dies), prints
+the outcome matrix and can write the machine-readable JSON artefact.
+
+Run:  python examples/campaign_matrix.py
+      python examples/campaign_matrix.py --workers 4 --chips 0 1 2 3
+      python examples/campaign_matrix.py --json campaign.json
+"""
+
+import argparse
+
+from repro.attacks.cost import format_years
+from repro.campaigns import ThreatScenario, expand_matrix, run_campaign
+
+SECONDS_PER_YEAR = 365.25 * 86400
+
+#: Every attack of Sec. IV-B, with the transfer donor named explicitly.
+ATTACKS = [
+    "brute-force",
+    "annealing",
+    "genetic",
+    ("transfer", {"donor_chip_id": 1}),
+    "removal",
+    "sat",
+]
+
+#: The proposed scheme plus three prior-work baselines.
+SCHEMES = [
+    "fabric",
+    ("mixlock", {"n_key_bits": 8}),
+    ("calibration-lock", {"n_key_bits": 8}),
+    "memristor",
+]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--budget", type=int, default=48, help="query budget per cell")
+    parser.add_argument(
+        "--standards", type=int, nargs="+", default=[0], metavar="IDX",
+        help="standard indices to sweep",
+    )
+    parser.add_argument(
+        "--chips", type=int, nargs="+", default=[0], metavar="ID",
+        help="die ids of the oracle-chip fleet",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON campaign artefact here")
+    args = parser.parse_args(argv)
+
+    cells = expand_matrix(
+        attacks=ATTACKS,
+        schemes=SCHEMES,
+        standard_indices=tuple(args.standards),
+        chip_ids=tuple(args.chips),
+        base=ThreatScenario(budget=args.budget, n_fft=1024, seed=29),
+    )
+    print(f"campaign: {len(ATTACKS)} attacks x {len(SCHEMES)} schemes x "
+          f"{len(args.standards)} standard(s) x {len(args.chips)} chip(s) "
+          f"= {len(cells)} cells, {args.workers} worker(s)\n")
+    campaign = run_campaign(cells, n_workers=args.workers, json_path=args.json)
+
+    header = f"{'attack':12s} {'target':18s} {'std':>3s} {'chip':>4s}  {'outcome':8s} {'queries':>7s}  {'lab time':>10s}"
+    print(header)
+    print("-" * len(header))
+    for cell, report in zip(cells, campaign.reports):
+        if not report.applicable:
+            outcome = "n/a"
+        elif report.success:
+            outcome = "BROKEN"
+        else:
+            outcome = "holds"
+        lab = format_years(report.lab_seconds / SECONDS_PER_YEAR)
+        print(f"{cell.attack:12s} {cell.scenario.scheme:18s} "
+              f"{cell.scenario.standard_index:3d} {cell.scenario.chip.chip_id:4d}  "
+              f"{outcome:8s} {report.n_queries:7d}  {lab:>10s}")
+
+    broken = {r.scenario.scheme for r in campaign.successes()}
+    print(f"\n{len(campaign.successes())} of {len(cells)} cells broke their "
+          f"target ({campaign.total_queries()} metered queries total)")
+    print(f"schemes broken by at least one attack: {sorted(broken) or 'none'}")
+    fabric_broken = sorted(
+        {r.attack for r in campaign.successes() if r.scenario.scheme == "fabric"}
+    )
+    if fabric_broken:
+        print(f"fabric lock broken by: {', '.join(fabric_broken)} — the "
+              "leaked-key avenue is the one the paper concedes (Sec. IV-B.3)")
+    else:
+        print("the 64-bit fabric lock held against every attack in this "
+              "budget while the baselines fell (Sec. VI-B)")
+    if args.json:
+        print(f"JSON artefact written to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

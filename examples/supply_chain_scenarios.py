@@ -3,7 +3,9 @@
 A design house orders 8 chips from an untrusted foundry but only
 activates the 5 it paid for.  The scenario walks through:
 
-* overproduction: extra dies exist but were never calibrated/activated,
+* overproduction: the extra dies exist but were never calibrated — a
+  brute-force campaign over that fleet (one cell per die, through the
+  unified attack API) shows the foundry's silicon is good-for-nothing,
 * cloning: a perfect netlist copy without keys is good-for-nothing,
 * remarking: a failing die is loaded with a wrong configuration so it
   cannot be resold as a passing part, and
@@ -15,17 +17,17 @@ Run:  python examples/supply_chain_scenarios.py
 import numpy as np
 
 from repro.calibration import Calibrator
+from repro.campaigns import CampaignCell, ChipSpec, ThreatScenario, run_campaign
 from repro.keymgmt import ArbiterPuf, PufXorScheme
 from repro.locking import PerformanceSpec
-from repro.process import ChipFactory
-from repro.receiver import Chip, ConfigWord, STANDARDS, measure_modulator_snr
+from repro.receiver import STANDARDS, measure_modulator_snr
 
 LOT_SIZE = 8
 PAID_FOR = 5
+LOT_SEED = 2020
 
 
 def main() -> None:
-    fab = ChipFactory(lot_seed=2020)
     standard = STANDARDS[0]
     spec = PerformanceSpec.for_standard(standard)
     calibrator = Calibrator(n_fft=4096, optimizer_passes=2, sfdr_weight=0.0)
@@ -33,27 +35,38 @@ def main() -> None:
 
     print(f"foundry fabricates {LOT_SIZE} dies; design house activates {PAID_FOR}\n")
     activated = {}
-    for chip_id in range(LOT_SIZE):
-        chip = Chip(variations=fab.draw(chip_id))
-        if chip_id < PAID_FOR:
-            result = calibrator.calibrate(chip, standard)
-            passes = result.snr_db >= spec.snr_min_db
-            if passes:
-                activated[chip_id] = (chip, result.config)
-                print(f"die {chip_id}: calibrated, SNR {result.snr_db:5.1f} dB -> shipped")
-            else:
-                # Remarking countermeasure: load a wrong configuration so
-                # the failing die is totally malfunctional if remarked.
-                poison = result.config.flip_bits(list(rng.choice(64, 12, replace=False)))
-                snr = measure_modulator_snr(chip, poison, standard, n_fft=2048).snr_db
-                print(f"die {chip_id}: FAILS spec ({result.snr_db:5.1f} dB) -> "
-                      f"poisoned config loaded, now {snr:5.1f} dB (remarking-proof)")
+    for chip_id in range(PAID_FOR):
+        chip = ChipSpec(lot_seed=LOT_SEED, chip_id=chip_id).build()
+        result = calibrator.calibrate(chip, standard)
+        if result.snr_db >= spec.snr_min_db:
+            activated[chip_id] = (chip, result.config)
+            print(f"die {chip_id}: calibrated, SNR {result.snr_db:5.1f} dB -> shipped")
         else:
-            # Overproduced dies: the foundry has silicon but no keys.
-            guess = ConfigWord.random(rng)
-            snr = measure_modulator_snr(chip, guess, standard, n_fft=2048).snr_db
-            print(f"die {chip_id}: overproduced, foundry's best guess key -> "
-                  f"{snr:5.1f} dB (good-for-nothing)")
+            # Remarking countermeasure: load a wrong configuration so
+            # the failing die is totally malfunctional if remarked.
+            poison = result.config.flip_bits(list(rng.choice(64, 12, replace=False)))
+            snr = measure_modulator_snr(chip, poison, standard, n_fft=2048).snr_db
+            print(f"die {chip_id}: FAILS spec ({result.snr_db:5.1f} dB) -> "
+                  f"poisoned config loaded, now {snr:5.1f} dB (remarking-proof)")
+
+    # Overproduced dies: the foundry has silicon but no keys.  One
+    # brute-force campaign cell per die, sharded like any chip fleet.
+    overproduced = [
+        CampaignCell(
+            "brute-force",
+            ThreatScenario(
+                chip=ChipSpec(lot_seed=LOT_SEED, chip_id=chip_id),
+                standard_index=standard.index,
+                budget=1,  # the foundry's one best-guess key per die
+                n_fft=2048,
+                seed=chip_id,
+            ),
+        )
+        for chip_id in range(PAID_FOR, LOT_SIZE)
+    ]
+    for cell, report in zip(overproduced, run_campaign(overproduced).reports):
+        print(f"die {cell.scenario.chip.chip_id}: overproduced, foundry's best "
+              f"guess key -> {report.best_metric_db:5.1f} dB (good-for-nothing)")
 
     if not activated:
         print("\n(no die passed specification in this lot — rerun with a "
@@ -63,8 +76,12 @@ def main() -> None:
 
     print(f"\ncloning: an attacker reverse-engineers the netlist perfectly, "
           f"fabricates a clone of die {donor_id}...")
-    clone = Chip(variations=fab.draw(100))  # new silicon, new variations
-    snr = measure_modulator_snr(clone, cfg0, standard, n_fft=2048).snr_db
+    clone_scenario = ThreatScenario(
+        chip=ChipSpec(lot_seed=LOT_SEED, chip_id=100),  # new silicon
+        standard_index=standard.index,
+        n_fft=2048,
+    )
+    snr = clone_scenario.oracle().snr(cfg0)
     print(f"  die-{donor_id}'s stolen key on the clone: {snr:5.1f} dB "
           f"(keys are chip-unique; spec needs {spec.snr_min_db:.0f} dB)")
 

@@ -11,7 +11,10 @@ The package implements, in pure Python:
 * the proposed locking-through-programmability scheme with tamper-proof
   memory and PUF key management,
 * an attack suite (brute force, multi-objective optimisation, removal,
-  oracle-guided SAT) and six prior-work baseline locking schemes, and
+  oracle-guided SAT) and six prior-work baseline locking schemes,
+* a unified attack-campaign API (:mod:`repro.campaigns`): one
+  ``Attack.execute(scenario) -> AttackReport`` protocol, declarative
+  threat-scenario matrices and chip-fleet process sharding, and
 * experiment drivers regenerating every figure/analysis of the paper.
 
 Start with :mod:`repro.locking` and ``examples/quickstart.py``.

@@ -55,13 +55,28 @@ class MeasurementOracle:
     n_queries: int = field(default=0, init=False)
     elapsed_seconds: float = field(default=0.0, init=False)
 
-    def _charge(self, seconds: float) -> None:
-        self.n_queries += 1
-        self.elapsed_seconds += seconds
-        if self.max_queries is not None and self.n_queries > self.max_queries:
+    def charge_batch(self, n: int, seconds_each: float) -> None:
+        """Atomically meter ``n`` measurements of ``seconds_each``.
+
+        The whole chunk is checked against the remaining budget before
+        any of it is charged: an over-budget submission raises
+        :class:`QueryBudgetExceeded` with ``n_queries`` and
+        ``elapsed_seconds`` untouched (a mid-chunk raise used to leave
+        them partially advanced), at exactly the query count where the
+        sequential oracle refuses its first over-budget measurement.
+        """
+        if n < 0:
+            raise ValueError(f"cannot charge a negative batch, got {n}")
+        if self.max_queries is not None and self.n_queries + n > self.max_queries:
             raise QueryBudgetExceeded(
-                f"budget of {self.max_queries} measurements exhausted"
+                f"budget of {self.max_queries} measurements exhausted "
+                f"({self.n_queries} spent, {n} more requested)"
             )
+        self.n_queries += n
+        self.elapsed_seconds += n * seconds_each
+
+    def _charge(self, seconds: float) -> None:
+        self.charge_batch(1, seconds)
 
     def remaining_queries(self) -> int | None:
         """Measurements left in the budget (None when unlimited).
@@ -85,13 +100,13 @@ class MeasurementOracle:
     def snr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
         """Batched :meth:`snr` — many keys, one engine submission.
 
-        Every key is a metered measurement: the budget is charged per
-        key *before* the batch runs, so a budget overrun raises without
-        spending simulation time, at the same query count the
-        sequential oracle would have reached.
+        Every key is a metered measurement: the whole chunk is charged
+        atomically *before* the batch runs, so a budget overrun raises
+        without spending simulation time and without partially
+        advancing the meters, at the same query count at which a
+        sequential search would be refused.
         """
-        for _ in keys:
-            self._charge(self.cost_model.snr_seconds)
+        self.charge_batch(len(keys), self.cost_model.snr_seconds)
         measurements = measure_modulator_snr_batch(
             self.chip, keys, self.standard, n_fft=self.n_fft, seed=self.seed
         )
@@ -106,8 +121,7 @@ class MeasurementOracle:
 
     def sfdr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
         """Batched :meth:`sfdr`; metering as in :meth:`snr_batch`."""
-        for _ in keys:
-            self._charge(self.cost_model.sfdr_seconds)
+        self.charge_batch(len(keys), self.cost_model.sfdr_seconds)
         measurements = measure_sfdr_batch(
             self.chip, keys, self.standard, n_fft=self.n_fft, seed=self.seed
         )
@@ -128,8 +142,7 @@ class MeasurementOracle:
         self, keys: Sequence[ConfigWord], n_baseband: int = 512
     ) -> list[float]:
         """Batched :meth:`receiver_snr`; metering as in :meth:`snr_batch`."""
-        for _ in keys:
-            self._charge(self.cost_model.snr_seconds)
+        self.charge_batch(len(keys), self.cost_model.snr_seconds)
         measurements = measure_receiver_snr_batch(
             self.chip, keys, self.standard, n_baseband=n_baseband, seed=self.seed
         )

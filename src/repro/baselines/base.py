@@ -84,13 +84,22 @@ class AnalogLockScheme(abc.ABC):
         """The scheme's removal-attack surface."""
 
     def lock_effectiveness(self, n_random_keys: int, rng) -> float:
-        """Fraction of random keys that fail to unlock (higher = better)."""
+        """Fraction of random keys that fail to unlock (higher = better).
+
+        The key population is drawn in one ``rng.integers`` call (the
+        batched draw consumes the generator stream element-for-element
+        like the old scalar loop, so figures are unchanged); accidental
+        draws of the correct key are excluded from the failure count.
+        """
+        if n_random_keys < 1:
+            raise ValueError(
+                f"n_random_keys must be >= 1, got {n_random_keys}"
+            )
         key_space = 1 << self.profile.key_bits
-        failures = 0
-        for _ in range(n_random_keys):
-            key = int(rng.integers(0, key_space))
-            if key == self.correct_key:
-                continue
-            if not self.unlocks(key):
-                failures += 1
+        keys = rng.integers(0, key_space, size=n_random_keys)
+        failures = sum(
+            1
+            for key in (int(k) for k in keys)
+            if key != self.correct_key and not self.unlocks(key)
+        )
         return failures / n_random_keys

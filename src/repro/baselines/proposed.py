@@ -76,6 +76,10 @@ class ProposedFabricLock(AnalogLockScheme):
         match the previous per-key loop, and the engine backends are
         bit-exact, so the figure is unchanged.
         """
+        if n_random_keys < 1:
+            raise ValueError(
+                f"n_random_keys must be >= 1, got {n_random_keys}"
+            )
         keys = [ConfigWord.random(rng) for _ in range(n_random_keys)]
         evaluations = self.lock.evaluate_keys(
             keys, self.standard, n_fft=self.n_fft

@@ -1,0 +1,94 @@
+"""Unified attack-campaign API: one protocol, scenario matrices, sharding.
+
+The paper's security claims (Sec. VI-B) are comparative — every attack
+against every defense under every standard.  This package makes that
+sweep a first-class operation:
+
+* :class:`~repro.campaigns.attacks.Attack` — one protocol
+  (``execute(scenario) -> AttackReport``) implemented by adapters over
+  the five primitive attacks (brute force, annealing, genetic,
+  transfer, removal, SAT), registered by name in :data:`ATTACKS`;
+* :class:`~repro.campaigns.report.AttackReport` — the single structured
+  outcome schema (success, best key, metered queries, modelled lab
+  seconds, per-attack extras);
+* :class:`~repro.campaigns.scenario.ThreatScenario` — a declarative,
+  picklable description of the target (baseline scheme or
+  ``ProgrammabilityLock``'d chip via :class:`ChipSpec`), standard, cost
+  model, query budget and seeds;
+* :func:`~repro.campaigns.campaign.expand_matrix` /
+  :func:`~repro.campaigns.campaign.run_campaign` — grid expansion over
+  attack x scheme x standard x chip-fleet axes and execution, either
+  in-process or sharded across worker processes (one private engine
+  per worker, bit-identical reports), with machine-readable JSON
+  artefacts via :mod:`repro.campaigns.serialization`.
+
+The experiment drivers (``security_optimization``, ``security_sat``,
+``table_baselines``, ``table_attack_cost``) and the example studies all
+run through this API; their quick-mode artefacts are byte-identical to
+the pre-campaign output because the adapters reproduce the primitive
+attacks' RNG streams and metering exactly.
+"""
+
+from repro.campaigns.attacks import (
+    ATTACKS,
+    Annealing,
+    Attack,
+    BruteForce,
+    Genetic,
+    Removal,
+    Sat,
+    Transfer,
+    make_attack,
+)
+from repro.campaigns.campaign import (
+    CampaignCell,
+    CampaignResult,
+    expand_matrix,
+    run_campaign,
+)
+from repro.campaigns.report import AttackReport
+from repro.campaigns.scenario import (
+    COST_MODELS,
+    DEFAULT_LOT_SEED,
+    FABRIC,
+    TARGETS,
+    ChipSpec,
+    ThreatScenario,
+    provision_calibration,
+)
+from repro.campaigns.serialization import (
+    attack_report_to_dict,
+    campaign_result_to_dict,
+    dump_json,
+    experiment_result_to_dict,
+    scenario_to_dict,
+)
+
+__all__ = [
+    "ATTACKS",
+    "Annealing",
+    "Attack",
+    "AttackReport",
+    "BruteForce",
+    "COST_MODELS",
+    "CampaignCell",
+    "CampaignResult",
+    "ChipSpec",
+    "DEFAULT_LOT_SEED",
+    "FABRIC",
+    "Genetic",
+    "Removal",
+    "Sat",
+    "TARGETS",
+    "ThreatScenario",
+    "Transfer",
+    "attack_report_to_dict",
+    "campaign_result_to_dict",
+    "dump_json",
+    "expand_matrix",
+    "experiment_result_to_dict",
+    "make_attack",
+    "provision_calibration",
+    "run_campaign",
+    "scenario_to_dict",
+]

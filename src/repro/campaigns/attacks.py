@@ -1,0 +1,408 @@
+"""One protocol for every attack: ``Attack.execute(scenario) -> AttackReport``.
+
+The adapters wrap the primitive attack implementations in
+:mod:`repro.attacks` (which keep their own APIs — they are the
+experiment-level building blocks) behind a single uniform call, so the
+full attack x defense matrix of the paper's Sec. VI-B can be swept by
+one driver.  :data:`ATTACKS` is the named registry mirroring the
+experiment registry: campaign cells carry the attack *name* plus plain
+parameters, which keeps cells picklable for the process-sharded runner.
+
+Applicability is part of the result, not an exception: an attack that
+has no formulation against a target (SAT vs the analog fabric, transfer
+vs a bench-model baseline) returns a report with ``applicable=False``
+and the structural reason in ``extras`` — that adjudication *is* the
+paper's security argument.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.attacks.brute_force import BruteForceAttack
+from repro.attacks.cost import AttackCostModel
+from repro.attacks.optimization import GeneticAttack, SimulatedAnnealingAttack
+from repro.attacks.oracle import QueryBudgetExceeded
+from repro.attacks.removal import removal_attack
+from repro.attacks.sat_attack import (
+    SatAttackNotApplicable,
+    assert_sat_attack_applicable,
+)
+from repro.attacks.transfer import TransferAttack
+from repro.baselines.base import AnalogLockScheme
+from repro.campaigns.report import AttackReport
+from repro.campaigns.scenario import (
+    FABRIC,
+    ChipSpec,
+    ThreatScenario,
+    provision_calibration,
+)
+from repro.receiver.config import ConfigWord
+
+
+class Attack(abc.ABC):
+    """Protocol every campaign attack implements."""
+
+    #: Registry name (also the ``attack`` field of the reports).
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        """Run the attack against ``scenario`` and report the outcome."""
+
+    # -- shared report builders -------------------------------------------
+
+    def _not_applicable(
+        self, scenario: ThreatScenario, reason: str, **extras
+    ) -> AttackReport:
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=False,
+            success=False,
+            extras={"reason": reason, **extras},
+        )
+
+    def _budget_exhausted(self, scenario: ThreatScenario, oracle) -> AttackReport:
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=False,
+            n_queries=oracle.n_queries,
+            lab_seconds=oracle.elapsed_seconds,
+            extras={"budget_exhausted": True},
+        )
+
+
+@dataclass
+class BruteForce(Attack):
+    """Random key search — against the fabric oracle or a baseline bench.
+
+    On the fabric target this is the metered random search of paper
+    Sec. VI-B.1 (batched oracle probes, spec adjudication).  On a
+    baseline scheme it draws random keys in the scheme's own key space
+    and queries its testbench, charging the scenario's cost model per
+    trial — which is how an 8-bit bias lock falls in seconds while the
+    64-bit fabric stands.
+    """
+
+    name: ClassVar[str] = "brute-force"
+    batch_size: int = 16
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        rng = np.random.default_rng(scenario.seed)
+        if scenario.scheme == FABRIC:
+            oracle = scenario.oracle()
+            attack = BruteForceAttack(oracle, rng=rng, batch_size=self.batch_size)
+            try:
+                outcome = attack.run(scenario.budget)
+            except QueryBudgetExceeded:
+                return self._budget_exhausted(scenario, oracle)
+            return AttackReport(
+                attack=self.name,
+                scenario=scenario,
+                applicable=True,
+                success=outcome.success,
+                best_key=outcome.best_key.encode(),
+                best_metric_db=outcome.best_snr_db,
+                n_queries=oracle.n_queries,
+                lab_seconds=oracle.elapsed_seconds,
+                extras={
+                    "n_trials": outcome.n_trials,
+                    "extrapolated_years_full_space": (
+                        outcome.extrapolated_years_full_space
+                    ),
+                },
+            )
+        return self._scheme_search(scenario, rng)
+
+    def _scheme_search(
+        self, scenario: ThreatScenario, rng: np.random.Generator
+    ) -> AttackReport:
+        scheme = scenario.resolve_scheme()
+        cost = scenario.cost_model()
+        key_space = 1 << scheme.profile.key_bits
+        n_queries = 0
+        success = False
+        best_key: int | None = None
+        exhausted = False
+        for _ in range(scenario.budget):
+            if (
+                scenario.max_queries is not None
+                and n_queries >= scenario.max_queries
+            ):
+                exhausted = True
+                break
+            key = int(rng.integers(0, key_space))
+            n_queries += 1
+            if scheme.unlocks(key):
+                success = True
+                best_key = key
+                break
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=success,
+            best_key=best_key,
+            best_metric_db=None,
+            n_queries=n_queries,
+            lab_seconds=n_queries * cost.snr_seconds,
+            extras={
+                "key_bits": scheme.profile.key_bits,
+                "scheme_name": scheme.profile.name,
+                "reference": scheme.profile.reference,
+                **({"budget_exhausted": True} if exhausted else {}),
+            },
+        )
+
+
+_NEEDS_ORACLE = (
+    "needs a measurement oracle on a working chip; the target is a "
+    "bench-model baseline scheme without one"
+)
+
+
+@dataclass
+class Annealing(Attack):
+    """Simulated annealing over the 64-bit key string (Sec. IV-B.3)."""
+
+    name: ClassVar[str] = "annealing"
+    initial_temperature: float = 8.0
+    cooling: float = 0.97
+    flips_per_move: int = 2
+    sfdr_weight: float = 0.0
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        if scenario.scheme != FABRIC:
+            return self._not_applicable(scenario, _NEEDS_ORACLE)
+        oracle = scenario.oracle()
+        attack = SimulatedAnnealingAttack(
+            oracle,
+            rng=np.random.default_rng(scenario.seed),
+            initial_temperature=self.initial_temperature,
+            cooling=self.cooling,
+            flips_per_move=self.flips_per_move,
+            sfdr_weight=self.sfdr_weight,
+        )
+        try:
+            outcome = attack.run(scenario.budget)
+        except QueryBudgetExceeded:
+            return self._budget_exhausted(scenario, oracle)
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=outcome.success,
+            best_key=outcome.best_key.encode(),
+            best_metric_db=outcome.best_score,
+            n_queries=oracle.n_queries,
+            lab_seconds=oracle.elapsed_seconds,
+            extras={"n_evaluations": scenario.budget, "history_len": len(outcome.history)},
+        )
+
+
+@dataclass
+class Genetic(Attack):
+    """Genetic algorithm with batched population scoring (Sec. IV-B.3).
+
+    The scenario budget is spent in whole generations:
+    ``max(budget // population_size - 1, 1)`` generations after the
+    initial population, matching the budget accounting of the
+    experiment drivers.
+    """
+
+    name: ClassVar[str] = "genetic"
+    population_size: int = 16
+    mutation_rate: float = 0.02
+    elite: int = 2
+    sfdr_weight: float = 0.0
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        if scenario.scheme != FABRIC:
+            return self._not_applicable(scenario, _NEEDS_ORACLE)
+        oracle = scenario.oracle()
+        attack = GeneticAttack(
+            oracle,
+            rng=np.random.default_rng(scenario.seed),
+            population_size=self.population_size,
+            mutation_rate=self.mutation_rate,
+            elite=self.elite,
+            sfdr_weight=self.sfdr_weight,
+        )
+        n_generations = max(scenario.budget // self.population_size - 1, 1)
+        try:
+            outcome = attack.run(n_generations)
+        except QueryBudgetExceeded:
+            return self._budget_exhausted(scenario, oracle)
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=outcome.success,
+            best_key=outcome.best_key.encode(),
+            best_metric_db=outcome.best_score,
+            n_queries=oracle.n_queries,
+            lab_seconds=oracle.elapsed_seconds,
+            extras={
+                "n_generations": n_generations,
+                "population_size": self.population_size,
+            },
+        )
+
+
+@dataclass
+class Transfer(Attack):
+    """Leaked-key transfer across chips (Sec. IV-B.3).
+
+    The donor key comes either from ``leaked_key`` (an encoded
+    configuration word the driver obtained elsewhere) or by calibrating
+    the donor die of the same lot with the default calibrator — the
+    strongest position the paper grants the attacker.
+    """
+
+    name: ClassVar[str] = "transfer"
+    donor_chip_id: int = 1
+    leaked_key: int | None = None
+    passes: int = 1
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        if scenario.scheme != FABRIC:
+            return self._not_applicable(scenario, _NEEDS_ORACLE)
+        standard = scenario.standard()
+        if self.leaked_key is not None:
+            leaked = ConfigWord.decode(self.leaked_key)
+        else:
+            donor = ChipSpec(scenario.chip.lot_seed, self.donor_chip_id)
+            leaked = provision_calibration(donor, standard).config
+        oracle = scenario.oracle()
+        attack = TransferAttack(oracle, rng=np.random.default_rng(scenario.seed))
+        try:
+            outcome = attack.run(leaked, passes=self.passes)
+        except QueryBudgetExceeded:
+            return self._budget_exhausted(scenario, oracle)
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=outcome.success,
+            best_key=outcome.final_key.encode(),
+            best_metric_db=outcome.final_snr_db,
+            n_queries=oracle.n_queries,
+            lab_seconds=oracle.elapsed_seconds,
+            extras={
+                "start_snr_db": outcome.start_snr_db,
+                "donor_chip_id": self.donor_chip_id,
+                "leaked_key": leaked.encode(),
+            },
+        )
+
+
+@dataclass
+class Removal(Attack):
+    """Removal-attack adjudication (Secs. II / IV-B.2)."""
+
+    name: ClassVar[str] = "removal"
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        return self.adjudicate(scenario.resolve_scheme(), scenario)
+
+    def adjudicate(
+        self, scheme: AnalogLockScheme, scenario: ThreatScenario | None = None
+    ) -> AttackReport:
+        """Scheme-level core, usable outside a campaign (comparison tables)."""
+        outcome = removal_attack(scheme)
+        cost = scenario.cost_model() if scenario else AttackCostModel.hardware()
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=outcome.applicable,
+            success=outcome.succeeds,
+            n_queries=outcome.measurements_needed,
+            lab_seconds=outcome.measurements_needed * cost.snr_seconds,
+            extras={
+                "scheme_name": outcome.scheme_name,
+                "reference": outcome.reference,
+                "effort": outcome.effort,
+            },
+        )
+
+
+@dataclass
+class Sat(Attack):
+    """Oracle-guided SAT attack (Sec. IV-B.1).
+
+    Dismantles the logic-locked baselines; reports ``applicable=False``
+    with the structural reason for targets without a Boolean oracle —
+    the fabric lock and the pure bias locks.
+    """
+
+    name: ClassVar[str] = "sat"
+
+    @staticmethod
+    def sat_target(scheme: AnalogLockScheme) -> object:
+        return scheme.locked if hasattr(scheme, "locked") else scheme
+
+    @classmethod
+    def applicable_to(cls, scheme: AnalogLockScheme) -> bool:
+        """Whether a miter can be formulated against ``scheme``."""
+        try:
+            assert_sat_attack_applicable(cls.sat_target(scheme))
+        except SatAttackNotApplicable:
+            return False
+        return True
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        return self.adjudicate(scenario.resolve_scheme(), scenario)
+
+    def adjudicate(
+        self, scheme: AnalogLockScheme, scenario: ThreatScenario | None = None
+    ) -> AttackReport:
+        """Scheme-level core, usable outside a campaign."""
+        profile = scheme.profile
+        try:
+            assert_sat_attack_applicable(self.sat_target(scheme))
+        except SatAttackNotApplicable as exc:
+            report = self._not_applicable(
+                scenario,
+                str(exc),
+                scheme_name=profile.name,
+                reference=profile.reference,
+            )
+            return report
+        result = scheme.run_sat_attack()
+        cost = scenario.cost_model() if scenario else AttackCostModel.hardware()
+        success = scheme.unlocks(result.key)
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=success,
+            best_key=result.key,
+            n_queries=result.n_oracle_queries,
+            lab_seconds=result.n_oracle_queries * cost.snr_seconds,
+            extras={
+                "n_iterations": result.n_iterations,
+                "scheme_name": profile.name,
+                "reference": profile.reference,
+            },
+        )
+
+
+#: Named attack registry, mirroring the experiment registry: every
+#: campaign cell carries one of these names.
+ATTACKS: dict[str, Callable[..., Attack]] = {
+    cls.name: cls for cls in (BruteForce, Annealing, Genetic, Transfer, Removal, Sat)
+}
+
+
+def make_attack(name: str, **params) -> Attack:
+    """Instantiate a registered attack with plain keyword parameters."""
+    if name not in ATTACKS:
+        raise KeyError(f"unknown attack {name!r}; known: {sorted(ATTACKS)}")
+    return ATTACKS[name](**params)

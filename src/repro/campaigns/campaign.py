@@ -1,0 +1,218 @@
+"""Campaign execution: grid expansion and chip-fleet process sharding.
+
+``run_campaign`` takes a list of independent cells (attack name +
+parameters + :class:`~repro.campaigns.scenario.ThreatScenario`),
+executes each and returns the reports in cell order.  Cells are
+independent by construction — every cell rebuilds its chip from the
+scenario's :class:`ChipSpec` and seeds its own RNGs — so with
+``n_workers > 1`` they shard across worker processes: each worker owns
+a private simulation engine (caches and stats included) and reports
+come back deterministic and identical to a sequential run.
+
+``expand_matrix`` is the declarative front: attack x scheme x standard
+x chip-fleet grids in one call, the shape the paper's comparative
+security claims need (every attack against every defense under every
+standard, on a fleet of distinct dies).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.campaigns.attacks import make_attack
+from repro.campaigns.report import AttackReport
+from repro.campaigns.scenario import DEFAULT_LOT_SEED, ChipSpec, ThreatScenario
+from repro.engine import clear_caches, get_default_engine, set_default_backend
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent unit of campaign work.
+
+    Attributes:
+        attack: Attack registry name.
+        scenario: The threat scenario the attack runs against.
+        attack_params: Keyword parameters of the attack adapter, as a
+            tuple of pairs (picklable, hashable).
+    """
+
+    attack: str
+    scenario: ThreatScenario
+    attack_params: tuple[tuple[str, object], ...] = ()
+
+    def label(self) -> str:
+        """Unique-ish human-readable cell tag."""
+        return f"{self.attack}@{self.scenario.describe()}"
+
+    def execute(self) -> AttackReport:
+        """Run this cell in the current process."""
+        attack = make_attack(self.attack, **dict(self.attack_params))
+        return attack.execute(self.scenario)
+
+
+@dataclass
+class CampaignResult:
+    """All reports of one campaign run, in cell order.
+
+    Attributes:
+        reports: One :class:`AttackReport` per cell.
+        cell_seconds: Wall-clock seconds per cell (diagnostic only —
+            kept out of the reports so they stay deterministic).
+        n_workers: Worker processes used.
+        backend: Engine backend the cells ran on.
+    """
+
+    reports: list[AttackReport]
+    cell_seconds: list[float] = field(default_factory=list)
+    n_workers: int = 1
+    backend: str = "auto"
+
+    def successes(self) -> list[AttackReport]:
+        """The cells where the modelled attacker won."""
+        return [r for r in self.reports if r.success]
+
+    def total_queries(self) -> int:
+        """Metered oracle measurements across the whole campaign."""
+        return sum(r.n_queries for r in self.reports)
+
+
+def expand_matrix(
+    attacks: Sequence[str | tuple[str, dict]],
+    schemes: Sequence[str | tuple[str, dict]] = ("fabric",),
+    standard_indices: Sequence[int] = (0,),
+    chip_ids: Sequence[int] = (0,),
+    base: ThreatScenario | None = None,
+    lot_seed: int = DEFAULT_LOT_SEED,
+) -> list[CampaignCell]:
+    """Expand an attack x scheme x standard x chip grid into cells.
+
+    ``attacks`` and ``schemes`` entries are either plain registry names
+    or ``(name, params)`` pairs; ``params`` feed the attack adapter or
+    the baseline scheme constructor.  Every other scenario knob (cost
+    model, budget, seeds, FFT size) comes from ``base``.  Expansion
+    order — attacks outermost, chips innermost — is deterministic, so
+    cell lists built from the same arguments are identical everywhere.
+
+    The chip-fleet axis only multiplies the ``fabric`` target: the
+    bench-model baseline schemes carry no chip, so expanding them per
+    die would just duplicate identical cells.
+    """
+    base = base or ThreatScenario()
+    cells: list[CampaignCell] = []
+    for attack_entry in attacks:
+        attack_name, attack_params = _named(attack_entry)
+        for scheme_entry in schemes:
+            scheme_name, scheme_params = _named(scheme_entry)
+            scheme_chip_ids = (
+                chip_ids if scheme_name == "fabric" else tuple(chip_ids)[:1]
+            )
+            for standard_index in standard_indices:
+                for chip_id in scheme_chip_ids:
+                    scenario = replace(
+                        base,
+                        scheme=scheme_name,
+                        scheme_params=tuple(sorted(scheme_params.items())),
+                        chip=ChipSpec(lot_seed=lot_seed, chip_id=chip_id),
+                        standard_index=standard_index,
+                    )
+                    cells.append(
+                        CampaignCell(
+                            attack=attack_name,
+                            scenario=scenario,
+                            attack_params=tuple(sorted(attack_params.items())),
+                        )
+                    )
+    return cells
+
+
+def _named(entry: str | tuple[str, dict]) -> tuple[str, dict]:
+    if isinstance(entry, str):
+        return entry, {}
+    name, params = entry
+    return name, dict(params)
+
+
+def _timed_cell(payload: tuple[CampaignCell, str | None]) -> tuple[AttackReport, float]:
+    cell, backend = payload
+    if backend is not None:
+        set_default_backend(backend)
+    start = time.perf_counter()
+    report = cell.execute()
+    return report, time.perf_counter() - start
+
+
+def _worker_init(backend: str | None) -> None:
+    """Give each worker a pristine engine of the requested backend.
+
+    Workers inherit (fork) or rebuild (spawn) the module state; either
+    way the caches are dropped so every worker meters its own engine
+    from zero — the caches are deterministic value caches, so this
+    cannot change any report, only the sharing.
+    """
+    if backend is not None:
+        set_default_backend(backend)
+    clear_caches()
+
+
+def run_campaign(
+    cells: Iterable[CampaignCell],
+    n_workers: int = 1,
+    backend: str | None = None,
+    json_path: str | None = None,
+) -> CampaignResult:
+    """Execute every cell; reports come back in cell order.
+
+    Args:
+        cells: Independent campaign cells (see :func:`expand_matrix`).
+        n_workers: 1 runs in-process; more shards cells across worker
+            processes (one private engine per worker).  Reports are
+            identical either way.
+        backend: Optional engine backend for the cells (restored after
+            an in-process run; workers die with their setting).
+        json_path: When given, the machine-readable campaign artefact
+            is written there (see :mod:`repro.campaigns.serialization`).
+    """
+    cells = list(cells)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    resolved_backend = backend or get_default_engine().backend
+    if n_workers == 1 or len(cells) <= 1:
+        outcomes = _run_sequential(cells, backend)
+        n_workers = 1
+    else:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        with ctx.Pool(
+            processes=n_workers, initializer=_worker_init, initargs=(backend,)
+        ) as pool:
+            outcomes = pool.map(
+                _timed_cell, [(cell, backend) for cell in cells], chunksize=1
+            )
+    result = CampaignResult(
+        reports=[report for report, _ in outcomes],
+        cell_seconds=[seconds for _, seconds in outcomes],
+        n_workers=n_workers,
+        backend=resolved_backend,
+    )
+    if json_path is not None:
+        from repro.campaigns.serialization import dump_json, campaign_result_to_dict
+
+        dump_json(json_path, campaign_result_to_dict(result, cells=cells))
+    return result
+
+
+def _run_sequential(
+    cells: list[CampaignCell], backend: str | None
+) -> list[tuple[AttackReport, float]]:
+    engine = get_default_engine()
+    previous = engine.backend
+    if backend is not None:
+        set_default_backend(backend)
+    try:
+        return [_timed_cell((cell, None)) for cell in cells]
+    finally:
+        engine.backend = previous

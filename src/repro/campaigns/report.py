@@ -1,0 +1,73 @@
+"""The one attack-outcome schema every campaign cell produces.
+
+Before this package each attack returned its own dataclass
+(``BruteForceOutcome``, ``OptimizationOutcome``, ``RemovalOutcome``,
+``SatAttackResult``, ``TransferOutcome``), so no driver could sweep the
+paper's full attack x defense matrix.  :class:`AttackReport` is the
+common denominator: success, best key, metered queries, modelled lab
+time, plus a free-form ``extras`` mapping for whatever is specific to
+one attack (annealing history length, SAT iterations, removal effort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # report <-> scenario is a type-only cycle
+    from repro.campaigns.scenario import ThreatScenario
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Structured outcome of one attack against one threat scenario.
+
+    Attributes:
+        attack: Registry name of the attack that ran.
+        scenario: The scenario it ran against (None for scheme-level
+            adjudications outside a campaign).
+        applicable: Whether the attack can even be formulated against
+            the target (the SAT attack has no formulation against the
+            fabric lock; removal has nothing to cut out of it).
+        success: Whether the modelled attacker wins.
+        best_key: Best key found, as a plain integer in the target's
+            key space (None when the attack yields no key).
+        best_metric_db: The attack's best figure of merit in dB (SNR
+            for the oracle attacks; None where no dB metric exists).
+        n_queries: Metered oracle measurements spent.
+        lab_seconds: Modelled lab/CPU time of those measurements under
+            the scenario's cost model.
+        extras: Per-attack details (plain JSON-able values only).
+    """
+
+    attack: str
+    scenario: "ThreatScenario | None"
+    applicable: bool
+    success: bool
+    best_key: int | None = None
+    best_metric_db: float | None = None
+    n_queries: int = 0
+    lab_seconds: float = 0.0
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def extra(self, key: str, default: object = None) -> object:
+        """Convenience accessor into :attr:`extras`."""
+        return self.extras.get(key, default)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if not self.applicable:
+            status = "not applicable"
+        elif self.success:
+            status = "SUCCEEDED"
+        else:
+            status = "failed"
+        metric = (
+            f", best {self.best_metric_db:.1f} dB"
+            if self.best_metric_db is not None
+            else ""
+        )
+        return (
+            f"{self.attack} {status} after {self.n_queries} queries"
+            f"{metric} ({self.lab_seconds:.0f} lab s)"
+        )

@@ -1,0 +1,114 @@
+"""Machine-readable JSON artefacts for campaigns and experiments.
+
+Everything the runner and the campaign driver print as text tables is
+also available as plain JSON: attack reports, whole campaign results
+(with per-cell labels and timings) and the experiments'
+:class:`~repro.experiments.common.ExperimentResult` tables.  The
+helpers normalise numpy scalars and tuples so ``json.dumps`` always
+succeeds, and every writer is a pure function of its inputs — the
+artefacts diff cleanly across runs, backends and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.campaigns.campaign import CampaignCell, CampaignResult
+from repro.campaigns.report import AttackReport
+from repro.campaigns.scenario import ChipSpec, ThreatScenario
+
+if TYPE_CHECKING:
+    from repro.experiments.common import ExperimentResult
+
+
+def jsonable(value):
+    """Recursively convert ``value`` into plain JSON-compatible types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+def chip_spec_to_dict(spec: ChipSpec) -> dict:
+    """Serialize a chip specification."""
+    return {"lot_seed": spec.lot_seed, "chip_id": spec.chip_id}
+
+
+def scenario_to_dict(scenario: ThreatScenario) -> dict:
+    """Serialize a threat scenario."""
+    return {
+        "scheme": scenario.scheme,
+        "scheme_params": jsonable(dict(scenario.scheme_params)),
+        "chip": chip_spec_to_dict(scenario.chip),
+        "standard_index": scenario.standard_index,
+        "cost": scenario.cost,
+        "budget": scenario.budget,
+        "max_queries": scenario.max_queries,
+        "n_fft": scenario.n_fft,
+        "seed": scenario.seed,
+        "measurement_seed": scenario.measurement_seed,
+    }
+
+
+def attack_report_to_dict(report: AttackReport) -> dict:
+    """Serialize one attack report."""
+    return {
+        "attack": report.attack,
+        "scenario": (
+            scenario_to_dict(report.scenario) if report.scenario else None
+        ),
+        "applicable": report.applicable,
+        "success": report.success,
+        "best_key": jsonable(report.best_key),
+        "best_metric_db": jsonable(report.best_metric_db),
+        "n_queries": int(report.n_queries),
+        "lab_seconds": float(report.lab_seconds),
+        "extras": jsonable(dict(report.extras)),
+    }
+
+
+def campaign_result_to_dict(
+    result: CampaignResult, cells: Iterable[CampaignCell] | None = None
+) -> dict:
+    """Serialize a whole campaign run (the JSON artefact payload)."""
+    payload = {
+        "schema": "repro.campaigns/v1",
+        "n_workers": result.n_workers,
+        "backend": result.backend,
+        "n_cells": len(result.reports),
+        "n_successes": len(result.successes()),
+        "total_queries": result.total_queries(),
+        "reports": [attack_report_to_dict(r) for r in result.reports],
+        "cell_seconds": [round(s, 6) for s in result.cell_seconds],
+    }
+    if cells is not None:
+        payload["cells"] = [cell.label() for cell in cells]
+    return payload
+
+
+def experiment_result_to_dict(result: "ExperimentResult") -> dict:
+    """Serialize one experiment table (runner ``--json`` support)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [jsonable(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def dump_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=False)
+        stream.write("\n")

@@ -9,6 +9,7 @@ docstring (:mod:`repro.engine`) for the architecture.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -160,14 +161,23 @@ class SimulationEngine:
 
     # -- engine-owned caches -----------------------------------------------
 
-    def calibrated(self, chip: "Chip", standard, factory: Callable | None = None):
+    def calibrated(
+        self,
+        chip: "Chip",
+        standard,
+        factory: Callable | None = None,
+        key: tuple | None = None,
+    ):
         """Calibration result for ``chip`` at ``standard``, cached.
 
-        The cache key is ``(chip_id, standard.index)`` — experiments all
-        draw chips from the shared reference lot, so a die is identified
-        by its id.  Pass ``factory`` (a zero-argument callable) to
-        control how a missing entry is computed; the default runs the
-        full paper calibration procedure.
+        The default cache key is ``(chip_id, standard.index)`` —
+        experiments all draw chips from the shared reference lot, so a
+        die is identified by its id.  Callers whose chips span several
+        lots must pass an explicit ``key`` that includes the lot (the
+        campaign layer keys on ``(lot_seed, chip_id, standard.index)``),
+        or dies with equal ids would collide.  Pass ``factory`` (a
+        zero-argument callable) to control how a missing entry is
+        computed; the default runs the full paper calibration procedure.
         """
         if factory is None:
             def factory():  # deferred import: calibration imports the receiver
@@ -175,7 +185,8 @@ class SimulationEngine:
 
                 return Calibrator().calibrate(chip, standard)
 
-        key = (chip.variations.chip_id, standard.index)
+        if key is None:
+            key = (chip.variations.chip_id, standard.index)
         return self.calibration_cache.get_or_set(key, factory)
 
     def clear_caches(self) -> None:
@@ -184,7 +195,12 @@ class SimulationEngine:
         self.stats = EngineStats()
 
 
-_DEFAULT_ENGINE = SimulationEngine()
+# REPRO_ENGINE_BACKEND forces the default engine's backend for a whole
+# process tree — how the CI matrix runs the identical suite on both
+# backends without touching any test.
+_DEFAULT_ENGINE = SimulationEngine(
+    backend=os.environ.get("REPRO_ENGINE_BACKEND", "auto")
+)
 
 
 def get_default_engine() -> SimulationEngine:

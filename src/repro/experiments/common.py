@@ -97,7 +97,13 @@ def calibrated(chip: Chip, standard: Standard | None = None) -> CalibrationResul
     """
     standard = standard or STANDARDS[0]
     return get_default_engine().calibrated(
-        chip, standard, factory=lambda: Calibrator().calibrate(chip, standard)
+        chip,
+        standard,
+        factory=lambda: Calibrator().calibrate(chip, standard),
+        # Lot-qualified key, shared with the campaign layer's
+        # provision_calibration (every experiment chip is a reference-lot
+        # die, so the two layers hit the same entries).
+        key=(EXPERIMENT_LOT_SEED, chip.variations.chip_id, standard.index),
     )
 
 

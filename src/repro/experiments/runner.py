@@ -6,7 +6,9 @@ artefact is an :class:`ExperimentSpec` in a named registry, so runs can
 be filtered (``--only fig7 --only fig9``), listed (``--list``) and
 timed per experiment; ``--backend`` selects the simulation-engine
 backend (the backends are bit-exact, so the numbers are identical —
-only the wall clock changes).
+only the wall clock changes) and ``--json PATH`` additionally writes
+every result as a machine-readable artefact through the campaign
+serialization helpers.
 """
 
 from __future__ import annotations
@@ -146,6 +148,7 @@ def run_all(
     stream=None,
     backend: str | None = None,
     names: list[str] | None = None,
+    json_path: str | None = None,
 ) -> list[ExperimentResult]:
     """Run the selected experiments; returns the result list.
 
@@ -154,6 +157,8 @@ def run_all(
         stream: Output stream (stdout by default).
         backend: Optional engine backend override for the whole run.
         names: Optional registry-name filter (report order preserved).
+        json_path: When given, every result plus the timing/engine
+            summary is also written there as JSON.
     """
     stream = stream or sys.stdout
     if backend is not None:
@@ -170,9 +175,9 @@ def run_all(
     results = []
     timings: list[tuple[str, float]] = []
     for spec in selected:
-        start = time.time()
+        start = time.perf_counter()
         result = spec.execute(full=full)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         results.append(result)
         timings.append((spec.name, elapsed))
         print(result.format_table(), file=stream)
@@ -189,6 +194,29 @@ def run_all(
         f"{engine.stats.integrate_seconds:.1f} s integrating",
         file=stream,
     )
+    if json_path is not None:
+        from repro.campaigns.serialization import (
+            dump_json,
+            experiment_result_to_dict,
+            jsonable,
+        )
+
+        dump_json(
+            json_path,
+            {
+                "schema": "repro.experiments/v1",
+                "mode": "full" if full else "quick",
+                "backend": engine.backend,
+                "experiments": [
+                    {
+                        **experiment_result_to_dict(result),
+                        "elapsed_seconds": round(elapsed, 3),
+                    }
+                    for result, (_, elapsed) in zip(results, timings)
+                ],
+                "engine": jsonable(vars(engine.stats)),
+            },
+        )
     return results
 
 
@@ -213,12 +241,20 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--list", action="store_true", help="list registered experiments"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump every result as a machine-readable JSON artefact",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for spec in REGISTRY.values():
             print(f"{spec.name:12s} {spec.title}")
         return
-    run_all(full=args.full, backend=args.backend, names=args.only)
+    run_all(
+        full=args.full, backend=args.backend, names=args.only, json_path=args.json
+    )
 
 
 if __name__ == "__main__":

@@ -1,18 +1,18 @@
 """Sec. IV-B.1 — SAT attack: breaks digital baselines, no formulation
 against the fabric lock.
 
-Runs the oracle-guided SAT attack on the MixLock'd decimation controller
-and the locked calibration optimiser, then demonstrates that the attack
+Runs the oracle-guided SAT attack as one campaign through the unified
+attack API: one cell per target (the MixLock'd decimation controller,
+the locked calibration optimiser, the provisioned fabric lock), one
+:class:`~repro.campaigns.report.AttackReport` out per cell — with
+``applicable=False`` carrying the structural reason why the attack
 cannot even be *formulated* against the proposed scheme.
 """
 
 from __future__ import annotations
 
-from repro.attacks.sat_attack import SatAttackNotApplicable, assert_sat_attack_applicable
-from repro.baselines import CalibrationLoopLock, MixLock
-from repro.experiments.common import ExperimentResult, calibrated, hero_chip
-from repro.locking.scheme import ProgrammabilityLock
-from repro.receiver.standards import STANDARDS
+from repro.campaigns import CampaignCell, ThreatScenario, run_campaign
+from repro.experiments.common import ExperimentResult
 
 
 def run(n_key_bits: int = 8) -> ExperimentResult:
@@ -22,26 +22,30 @@ def run(n_key_bits: int = 8) -> ExperimentResult:
         title="SAT attack: digital baselines vs the fabric lock",
         columns=["target", "outcome", "oracle_queries", "iterations"],
     )
-    for scheme in (MixLock(n_key_bits=n_key_bits), CalibrationLoopLock(n_key_bits=n_key_bits)):
-        sat = scheme.run_sat_attack()
-        recovered_ok = scheme.unlocks(sat.key)
+    params = (("n_key_bits", n_key_bits),)
+    cells = [
+        CampaignCell("sat", ThreatScenario(scheme="mixlock", scheme_params=params)),
+        CampaignCell(
+            "sat", ThreatScenario(scheme="calibration-lock", scheme_params=params)
+        ),
+        CampaignCell("sat", ThreatScenario(scheme="fabric")),
+    ]
+    campaign = run_campaign(cells)
+    for report in campaign.reports[:2]:
         result.rows.append(
             (
-                f"{scheme.profile.reference} {scheme.profile.name}",
-                "key recovered" if recovered_ok else "wrong key",
-                sat.n_oracle_queries,
-                sat.n_iterations,
+                f"{report.extra('reference')} {report.extra('scheme_name')}",
+                "key recovered" if report.success else "wrong key",
+                report.n_queries,
+                report.extra("n_iterations"),
             )
         )
-    chip = hero_chip()
-    standard = STANDARDS[0]
-    lock = ProgrammabilityLock(chip=chip)
-    lock._lut[standard.index] = calibrated(chip, standard)
-    try:
-        assert_sat_attack_applicable(lock)
-        outcome = "UNEXPECTEDLY applicable"
-    except SatAttackNotApplicable:
-        outcome = "not applicable (no Boolean oracle)"
+    fabric = campaign.reports[2]
+    outcome = (
+        "UNEXPECTEDLY applicable"
+        if fabric.applicable
+        else "not applicable (no Boolean oracle)"
+    )
     result.rows.append(("this work: programmability-fabric lock", outcome, 0, 0))
     result.notes.append(
         "paper: 'Known attacks in digital domain, such as the lethal SAT "

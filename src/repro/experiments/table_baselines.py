@@ -2,16 +2,18 @@
 
 Computes, per scheme: whether the correct key unlocks its testbench,
 lock effectiveness against random keys, overheads, and the removal- and
-SAT-attack adjudications.  The proposed scheme appears as the last row
-with zero overhead and no removal/SAT surface.
+SAT-attack adjudications — the latter through the unified campaign
+attack adapters (:class:`~repro.campaigns.attacks.Removal`,
+:class:`~repro.campaigns.attacks.Sat`), so each cell of the table is
+backed by an :class:`~repro.campaigns.report.AttackReport`.  The
+proposed scheme appears as the last row with zero overhead and no
+removal/SAT surface.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.removal import removal_attack
-from repro.attacks.sat_attack import SatAttackNotApplicable, assert_sat_attack_applicable
 from repro.baselines import (
     BiasObfuscationLock,
     CalibrationLoopLock,
@@ -21,6 +23,7 @@ from repro.baselines import (
     NeuralBiasLock,
     ProposedFabricLock,
 )
+from repro.campaigns import Removal, Sat
 from repro.experiments.common import ExperimentResult, calibrated, hero_chip
 from repro.locking.scheme import ProgrammabilityLock
 from repro.receiver.standards import STANDARDS
@@ -65,17 +68,12 @@ def run(n_random_keys: int = 16, seed: int = 3) -> ExperimentResult:
     for scheme in schemes:
         profile = scheme.profile
         effectiveness = scheme.lock_effectiveness(n_random_keys, rng)
-        removal = removal_attack(scheme)
+        removal = Removal().adjudicate(scheme)
         if removal.applicable:
-            removal_cell = "succeeds" if removal.succeeds else "resisted"
+            removal_cell = "succeeds" if removal.success else "resisted"
         else:
             removal_cell = "n/a (no added hw)"
-        try:
-            target = scheme.locked if hasattr(scheme, "locked") else scheme
-            assert_sat_attack_applicable(target)
-            sat_cell = "applicable"
-        except SatAttackNotApplicable:
-            sat_cell = "no Boolean oracle"
+        sat_cell = "applicable" if Sat.applicable_to(scheme) else "no Boolean oracle"
         result.rows.append(
             (
                 profile.reference,
