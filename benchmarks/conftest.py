@@ -1,6 +1,17 @@
 """Benchmark configuration: each benchmark regenerates one paper
 artefact, so a single measured round per benchmark keeps the harness
-practical while still timing the real workload."""
+practical while still timing the real workload.
+
+Every ``-m bench`` session also exports a machine-readable
+``BENCH_results.json`` (override the path with ``REPRO_BENCH_JSON``):
+one record per benchmark with its wall time, any speedup ratio the
+benchmark computed (``benchmark.extra_info["speedup"]``), the engine
+backend and the host's CPU count — the across-PR perf trajectory in a
+form scripts can diff, not just the pytest-benchmark table.
+"""
+
+import json
+import os
 
 import pytest
 
@@ -13,3 +24,47 @@ def run_once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_results.json from whatever benchmarks actually ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    from repro.engine import (
+        get_default_engine,
+        kernel_available,
+        kernel_threaded,
+        usable_cpus,
+    )
+
+    records = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        extra = dict(getattr(bench, "extra_info", {}) or {})
+        records.append(
+            {
+                "name": bench.name,
+                "group": getattr(bench, "group", None),
+                "wall_seconds": getattr(stats, "min", None),
+                "mean_seconds": getattr(stats, "mean", None),
+                "rounds": getattr(stats, "rounds", None),
+                "speedup": extra.pop("speedup", None),
+                "backend": extra.pop("backend", None),
+                "extra_info": extra,
+            }
+        )
+    payload = {
+        "schema": "repro-bench-results/1",
+        "exit_status": int(exitstatus),
+        "cpu_count": usable_cpus(),
+        "default_backend": get_default_engine().backend,
+        "kernel_available": kernel_available(),
+        "kernel_threaded": kernel_threaded(),
+        "engine_threads_env": os.environ.get("REPRO_ENGINE_THREADS"),
+        "benchmarks": records,
+    }
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_results.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

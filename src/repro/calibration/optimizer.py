@@ -62,6 +62,8 @@ def coordinate_descent(
     fields: tuple[tuple[str, int], ...] = STEP14_FIELDS,
     passes: int = 2,
     initial_step: int = 8,
+    batch_objective: Callable[[list[ConfigWord]], list[float]] | None = None,
+    speculation: str = "deep",
 ) -> CoordinateDescentResult:
     """Maximise ``objective`` over the given configuration fields.
 
@@ -70,28 +72,127 @@ def coordinate_descent(
     objective is typically a measured SNR (optionally blended with an
     SFDR penalty) and is treated as expensive: results are memoised so
     a configuration is never measured twice.
+
+    Speculative batched probing
+    ---------------------------
+
+    The descent is accept-dependent — each probe's starting point is
+    wherever the previous accepts moved — but the probes themselves can
+    be *speculated*: when ``batch_objective`` (which must return, per
+    configuration, exactly the value ``objective`` would) is given,
+    candidate probes are prefetched in batched submissions and the
+    sequential accept logic replays over the prefetched values, so the
+    accepted path, the final configuration, the evaluation count and
+    the trace (order included) are exactly those of the sequential
+    descent.  Speculated probes the replay never consumes are simply
+    dropped — they cost engine throughput, not correctness, and are not
+    counted as evaluations; mispredicted probes (a config the replay
+    wants but no speculation covered) fall back to a batch of one.
+
+    ``speculation`` sets the depth, trading batch width for waste:
+
+    * ``"rounds"`` — each hill-climb round prefetches its two
+      neighbours as one batch.  Both are always consumed (the round
+      evaluates both whatever gets accepted), so this depth never
+      wastes a probe; it halves the number of engine submissions.
+    * ``"deep"`` — additionally, each sweep prefetches both first-step
+      neighbours of *every* field, and each field entry prefetches
+      both neighbours at *every* step size, speculating that nothing
+      moves.  Settled descents consume whole batches (wide enough for
+      the engine's threaded key axis); accepted moves re-base the
+      remaining probes and drop their speculations.
     """
+    if speculation not in ("deep", "rounds"):
+        raise ValueError(
+            f"unknown speculation depth {speculation!r}; "
+            "choose 'deep' or 'rounds'"
+        )
+    deep = speculation == "deep"
     cache: dict[int, float] = {}
+    pending: dict[int, float] = {}
     trace: list[OptimizerTrace] = []
+
+    def prefetch(candidates: list[ConfigWord]) -> None:
+        if batch_objective is None:
+            return
+        todo: list[ConfigWord] = []
+        words: list[int] = []
+        for config in candidates:
+            word = config.encode()
+            if word in cache or word in pending or word in words:
+                continue
+            todo.append(config)
+            words.append(word)
+        if todo:
+            for word, score in zip(words, batch_objective(todo)):
+                pending[word] = score
 
     def evaluate(config: ConfigWord) -> float:
         word = config.encode()
         if word not in cache:
-            cache[word] = objective(config)
+            if word in pending:
+                cache[word] = pending.pop(word)
+            elif batch_objective is not None:
+                cache[word] = batch_objective([config])[0]
+            else:
+                cache[word] = objective(config)
             trace.append(OptimizerTrace(config=config, score=cache[word]))
         return cache[word]
+
+    def neighbours(config: ConfigWord, name: str, code_max: int, step: int):
+        code = getattr(config, name)
+        return [
+            config.replace(**{name: candidate})
+            for candidate in (code - step, code + step)
+            if 0 <= candidate <= code_max
+        ]
+
+    def step_schedule(width: int) -> list[int]:
+        code_max = (1 << width) - 1
+        schedule = []
+        step = min(initial_step, max(code_max // 4, 1))
+        while step >= 1:
+            schedule.append(step)
+            step //= 2
+        return schedule
 
     current = start
     best_score = evaluate(current)
     for _ in range(passes):
+        # Sweep-level speculation: both first-step neighbours of every
+        # field, in one engine batch, assuming no field moves.  Early
+        # fields always hit; later ones only miss if an earlier field
+        # accepted a move this sweep.
+        if deep:
+            sweep_candidates: list[ConfigWord] = []
+            for name, width in fields:
+                code_max = (1 << width) - 1
+                sweep_candidates.extend(
+                    neighbours(current, name, code_max, step_schedule(width)[0])
+                )
+            prefetch(sweep_candidates)
         for name, width in fields:
             code_max = (1 << width) - 1
-            step = min(initial_step, max(code_max // 4, 1))
-            while step >= 1:
+            if deep:
+                # Field-level speculation: both neighbours at every
+                # step size of this field's schedule, in one batch.  A
+                # field that accepts no move (the common case once the
+                # descent settles) consumes the whole batch; an
+                # accepted move re-bases the smaller steps and their
+                # speculated probes are dropped.
+                field_candidates: list[ConfigWord] = []
+                for step in step_schedule(width):
+                    field_candidates.extend(
+                        neighbours(current, name, code_max, step)
+                    )
+                prefetch(field_candidates)
+            for step in step_schedule(width):
                 improved = True
                 while improved:
                     improved = False
                     code = getattr(current, name)
+                    # Round-level speculation: this round's two probes.
+                    prefetch(neighbours(current, name, code_max, step))
                     for candidate in (code - step, code + step):
                         if not 0 <= candidate <= code_max:
                             continue
@@ -101,7 +202,6 @@ def coordinate_descent(
                             best_score = score
                             current = trial
                             improved = True
-                step //= 2
     return CoordinateDescentResult(
         config=current,
         score=best_score,

@@ -40,7 +40,9 @@ from repro.receiver.performance import (
     SEGMENT_RANGES,
     GainSegment,
     measure_modulator_snr,
+    measure_modulator_snr_batch,
     measure_sfdr,
+    measure_sfdr_batch,
 )
 from repro.receiver.receiver import Chip
 from repro.receiver.standards import Standard
@@ -137,6 +139,20 @@ class Calibrator:
         sfdr_weight: Weight of the SFDR shortfall in the step-14
             objective.
         seed: Measurement noise seed.
+        batch_probing: Evaluate the step-14 descent's speculative probe
+            sets as engine batches (one SNR sweep + one SFDR sweep per
+            probe set) instead of one measurement at a time.  The
+            batched measurements are bit-exact with the scalar ones and
+            the descent replays the identical accept order, so the
+            calibrated key, score, log and measurement count do not
+            change — only the latency does.
+        speculation: Probe-speculation depth for the batched descent:
+            ``"rounds"`` (zero wasted probes, two-key batches),
+            ``"deep"`` (whole-sweep/whole-field probe sets, widest
+            batches, some dropped speculations) or ``"auto"`` (deep
+            wherever the engine kernel can thread the key axis across
+            more than one CPU, rounds otherwise).  Results are
+            identical at every depth.
     """
 
     def __init__(
@@ -145,12 +161,25 @@ class Calibrator:
         optimizer_passes: int = 2,
         sfdr_weight: float = 0.3,
         seed: int = 0,
+        batch_probing: bool = True,
+        speculation: str = "auto",
     ):
         self.n_fft = n_fft
         self.optimizer_passes = optimizer_passes
         self.sfdr_weight = sfdr_weight
         self.seed = seed
+        self.batch_probing = batch_probing
+        self.speculation = speculation
         self._n_measurements = 0
+
+    def _speculation_depth(self) -> str:
+        """Resolve ``"auto"``: deep probing only pays where dropped
+        speculations are absorbed by the kernel's threaded key axis."""
+        if self.speculation != "auto":
+            return self.speculation
+        from repro.engine.native import kernel_threaded, usable_cpus
+
+        return "deep" if kernel_threaded() and usable_cpus() >= 2 else "rounds"
 
     # -- steps 5-6: frequency tuning --------------------------------------
 
@@ -242,7 +271,19 @@ class Calibrator:
     def optimise_biases(
         self, chip: Chip, config: ConfigWord, standard: Standard
     ) -> CoordinateDescentResult:
-        """Step 14: coordinate descent on measured SNR (+ SFDR shortfall)."""
+        """Step 14: coordinate descent on measured SNR (+ SFDR shortfall).
+
+        With :attr:`batch_probing` the descent's speculative probe sets
+        are measured as engine batches.  A probed configuration scores
+        bitwise what the sequential objective would (the batched
+        measurements are bit-exact with the scalar ones and the score
+        expression is transcribed operand for operand), so the descent
+        — and therefore the secret key — is unchanged.  Measurements
+        are counted per *consumed* evaluation, exactly as the
+        sequential objective counts them; speculated probes the descent
+        never consumes are engine throughput, not bench measurements of
+        the modelled flow.
+        """
         def objective(candidate: ConfigWord) -> float:
             self._n_measurements += 1
             snr = measure_modulator_snr(
@@ -257,9 +298,36 @@ class Calibrator:
                 score += self.sfdr_weight * min(0.0, sfdr - standard.sfdr_spec_db)
             return score
 
-        return coordinate_descent(
-            objective, config, passes=self.optimizer_passes
+        def batch_objective(candidates: list[ConfigWord]) -> list[float]:
+            snrs = measure_modulator_snr_batch(
+                chip, candidates, standard, n_fft=self.n_fft, seed=self.seed
+            )
+            scores = [m.snr_db for m in snrs]
+            if self.sfdr_weight > 0.0:
+                sfdrs = measure_sfdr_batch(
+                    chip, candidates, standard, n_fft=self.n_fft, seed=self.seed
+                )
+                scores = [
+                    score
+                    + self.sfdr_weight * min(0.0, m.sfdr_db - standard.sfdr_spec_db)
+                    for score, m in zip(scores, sfdrs)
+                ]
+            return scores
+
+        result = coordinate_descent(
+            objective,
+            config,
+            passes=self.optimizer_passes,
+            batch_objective=batch_objective if self.batch_probing else None,
+            speculation=self._speculation_depth() if self.batch_probing else "rounds",
         )
+        if self.batch_probing:
+            # The sequential objective meters one SNR (+ one SFDR)
+            # reading per unique consumed evaluation; the batched path
+            # meters identically, at the same total.
+            per_evaluation = 2 if self.sfdr_weight > 0.0 else 1
+            self._n_measurements += per_evaluation * result.n_evaluations
+        return result
 
     # -- the full procedure ---------------------------------------------------
 

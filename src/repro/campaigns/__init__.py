@@ -20,7 +20,12 @@ sweep a first-class operation:
   attack x scheme x standard x chip-fleet axes and execution, either
   in-process or sharded across worker processes (one private engine
   per worker, bit-identical reports), with machine-readable JSON
-  artefacts via :mod:`repro.campaigns.serialization`.
+  artefacts via :mod:`repro.campaigns.serialization`.  Sharded runs
+  share one cross-process :class:`~repro.engine.store.
+  CalibrationStore` and pre-provision the calibrations the attack
+  adapters declare (:meth:`~repro.campaigns.attacks.Attack.
+  provisioning_triples`) over the pool, so a fleet calibrates each die
+  once campaign-wide instead of once per worker.
 
 The experiment drivers (``security_optimization``, ``security_sat``,
 ``table_baselines``, ``table_attack_cost``) and the example studies all
@@ -44,6 +49,7 @@ from repro.campaigns.campaign import (
     CampaignCell,
     CampaignResult,
     expand_matrix,
+    fabric_triples,
     run_campaign,
 )
 from repro.campaigns.report import AttackReport
@@ -86,6 +92,7 @@ __all__ = [
     "campaign_result_to_dict",
     "dump_json",
     "expand_matrix",
+    "fabric_triples",
     "experiment_result_to_dict",
     "make_attack",
     "provision_calibration",

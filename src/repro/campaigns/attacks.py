@@ -54,6 +54,20 @@ class Attack(abc.ABC):
     def execute(self, scenario: ThreatScenario) -> AttackReport:
         """Run the attack against ``scenario`` and report the outcome."""
 
+    def provisioning_triples(
+        self, scenario: ThreatScenario
+    ) -> list[tuple[int, int, int]]:
+        """The (lot_seed, chip_id, standard_index) calibrations this
+        attack will demand when executing ``scenario``.
+
+        The campaign layer pre-provisions exactly these over its worker
+        pool (each triple once, fleet-wide) before the attack phase —
+        so adapters that calibrate must declare it here, and adapters
+        that only query the oracle must not, or sharded campaigns would
+        pay for calibrations no cell performs.
+        """
+        return []
+
     # -- shared report builders -------------------------------------------
 
     def _not_applicable(
@@ -271,6 +285,15 @@ class Transfer(Attack):
     leaked_key: int | None = None
     passes: int = 1
 
+    def provisioning_triples(
+        self, scenario: ThreatScenario
+    ) -> list[tuple[int, int, int]]:
+        if scenario.scheme != FABRIC or self.leaked_key is not None:
+            return []
+        return [
+            (scenario.chip.lot_seed, self.donor_chip_id, scenario.standard_index)
+        ]
+
     def execute(self, scenario: ThreatScenario) -> AttackReport:
         if scenario.scheme != FABRIC:
             return self._not_applicable(scenario, _NEEDS_ORACLE)
@@ -303,11 +326,25 @@ class Transfer(Attack):
         )
 
 
+def _own_fabric_triple(scenario: ThreatScenario) -> list[tuple[int, int, int]]:
+    """The scenario's own die, when resolving its scheme provisions it."""
+    if scenario.scheme != FABRIC:
+        return []
+    return [
+        (scenario.chip.lot_seed, scenario.chip.chip_id, scenario.standard_index)
+    ]
+
+
 @dataclass
 class Removal(Attack):
     """Removal-attack adjudication (Secs. II / IV-B.2)."""
 
     name: ClassVar[str] = "removal"
+
+    def provisioning_triples(
+        self, scenario: ThreatScenario
+    ) -> list[tuple[int, int, int]]:
+        return _own_fabric_triple(scenario)
 
     def execute(self, scenario: ThreatScenario) -> AttackReport:
         return self.adjudicate(scenario.resolve_scheme(), scenario)
@@ -356,6 +393,11 @@ class Sat(Attack):
         except SatAttackNotApplicable:
             return False
         return True
+
+    def provisioning_triples(
+        self, scenario: ThreatScenario
+    ) -> list[tuple[int, int, int]]:
+        return _own_fabric_triple(scenario)
 
     def execute(self, scenario: ThreatScenario) -> AttackReport:
         return self.adjudicate(scenario.resolve_scheme(), scenario)

@@ -9,6 +9,14 @@ scenario's :class:`ChipSpec` and seeds its own RNGs — so with
 a private simulation engine (caches and stats included) and reports
 come back deterministic and identical to a sequential run.
 
+Sharded campaigns share one cross-process
+:class:`~repro.engine.store.CalibrationStore` and run in two phases:
+the unique (lot, die, standard) calibrations the fabric cells need are
+provisioned over the pool first (each die calibrated once
+campaign-wide), then the attack cells execute against the warm store.
+Calibration results are deterministic values, so neither the store nor
+the phase split can change any report — only who pays for the compute.
+
 ``expand_matrix`` is the declarative front: attack x scheme x standard
 x chip-fleet grids in one call, the shape the paper's comparative
 security claims need (every attack against every defense under every
@@ -18,14 +26,27 @@ standard, on a fleet of distinct dies).
 from __future__ import annotations
 
 import multiprocessing
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.campaigns.attacks import make_attack
 from repro.campaigns.report import AttackReport
-from repro.campaigns.scenario import DEFAULT_LOT_SEED, ChipSpec, ThreatScenario
-from repro.engine import clear_caches, get_default_engine, set_default_backend
+from repro.campaigns.scenario import (
+    DEFAULT_LOT_SEED,
+    ChipSpec,
+    ThreatScenario,
+    provision_calibration,
+)
+from repro.engine import (
+    CalibrationStore,
+    clear_caches,
+    get_default_engine,
+    set_default_backend,
+)
+from repro.receiver.standards import standard_by_index
 
 
 @dataclass(frozen=True)
@@ -144,17 +165,50 @@ def _timed_cell(payload: tuple[CampaignCell, str | None]) -> tuple[AttackReport,
     return report, time.perf_counter() - start
 
 
-def _worker_init(backend: str | None) -> None:
+def _worker_init(backend: str | None, store_path: str | None = None) -> None:
     """Give each worker a pristine engine of the requested backend.
 
     Workers inherit (fork) or rebuild (spawn) the module state; either
     way the caches are dropped so every worker meters its own engine
     from zero — the caches are deterministic value caches, so this
-    cannot change any report, only the sharing.
+    cannot change any report, only the sharing.  The campaign's shared
+    calibration store is detached *before* the caches are cleared (a
+    forked worker must not wipe the parent's store) and re-attached
+    after, so every worker of one campaign reads through the same
+    store.
     """
+    engine = get_default_engine()
+    engine.calibration_store = None
     if backend is not None:
         set_default_backend(backend)
     clear_caches()
+    if store_path is not None:
+        engine.calibration_store = CalibrationStore(store_path)
+
+
+def _provision_triple(triple: tuple[int, int, int]) -> None:
+    """Calibrate one (lot, die, standard) into the worker's engine and
+    the campaign's shared calibration store."""
+    lot_seed, chip_id, standard_index = triple
+    provision_calibration(
+        ChipSpec(lot_seed=lot_seed, chip_id=chip_id),
+        standard_by_index(standard_index),
+    )
+
+
+def fabric_triples(cells: Sequence[CampaignCell]) -> list[tuple[int, int, int]]:
+    """The unique (lot_seed, chip_id, standard_index) calibrations the
+    cells of a campaign will actually perform, in deterministic order.
+
+    Each attack adapter declares its provisioning demand
+    (:meth:`~repro.campaigns.attacks.Attack.provisioning_triples`):
+    oracle-only attacks declare none — pre-provisioning a die no cell
+    calibrates would add work the sequential campaign never did."""
+    triples: set[tuple[int, int, int]] = set()
+    for cell in cells:
+        attack = make_attack(cell.attack, **dict(cell.attack_params))
+        triples.update(attack.provisioning_triples(cell.scenario))
+    return sorted(triples)
 
 
 def run_campaign(
@@ -162,6 +216,7 @@ def run_campaign(
     n_workers: int = 1,
     backend: str | None = None,
     json_path: str | None = None,
+    calibration_store: str | None = None,
 ) -> CampaignResult:
     """Execute every cell; reports come back in cell order.
 
@@ -174,24 +229,59 @@ def run_campaign(
             an in-process run; workers die with their setting).
         json_path: When given, the machine-readable campaign artefact
             is written there (see :mod:`repro.campaigns.serialization`).
+        calibration_store: Directory for the cross-process calibration
+            store the workers share.  Defaults to a campaign-private
+            temporary directory that is removed afterwards; name one
+            explicitly to keep fleet calibrations warm across
+            campaigns.  Calibration results are deterministic values,
+            so the store cannot change any report.
+
+    Sharded runs provision before they attack: the unique
+    (lot, die, standard) calibrations the fabric cells need are mapped
+    over the same worker pool first — each die calibrated exactly once
+    campaign-wide, written through the shared store — so the attack
+    phase starts from warm calibrations instead of every worker
+    recalibrating every die it touches.
     """
     cells = list(cells)
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     resolved_backend = backend or get_default_engine().backend
     if n_workers == 1 or len(cells) <= 1:
-        outcomes = _run_sequential(cells, backend)
+        if calibration_store is not None:
+            # In-process runs dedupe through the engine LRU already;
+            # an explicit store additionally persists the calibrations
+            # for later campaigns.
+            engine = get_default_engine()
+            previous_store = engine.calibration_store
+            engine.calibration_store = CalibrationStore(calibration_store)
+            try:
+                outcomes = _run_sequential(cells, backend)
+            finally:
+                engine.calibration_store = previous_store
+        else:
+            outcomes = _run_sequential(cells, backend)
         n_workers = 1
     else:
+        store_path = calibration_store or tempfile.mkdtemp(prefix="repro-calstore-")
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
-        with ctx.Pool(
-            processes=n_workers, initializer=_worker_init, initargs=(backend,)
-        ) as pool:
-            outcomes = pool.map(
-                _timed_cell, [(cell, backend) for cell in cells], chunksize=1
-            )
+        try:
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_worker_init,
+                initargs=(backend, store_path),
+            ) as pool:
+                triples = fabric_triples(cells)
+                if triples:
+                    pool.map(_provision_triple, triples, chunksize=1)
+                outcomes = pool.map(
+                    _timed_cell, [(cell, backend) for cell in cells], chunksize=1
+                )
+        finally:
+            if calibration_store is None:
+                shutil.rmtree(store_path, ignore_errors=True)
     result = CampaignResult(
         reports=[report for report, _ in outcomes],
         cell_seconds=[seconds for _, seconds in outcomes],

@@ -17,7 +17,7 @@ from repro.dsp.metrics import (
     thd,
     two_tone_sfdr,
 )
-from repro.dsp.spectrum import Spectrum, periodogram, welch_psd
+from repro.dsp.spectrum import Spectrum, periodogram, periodogram_batch, welch_psd
 from repro.dsp.tones import coherent_frequency, sample_times, sine, two_tone
 from repro.dsp.units import (
     K_BOLTZMANN,
@@ -63,6 +63,7 @@ __all__ = [
     "fs4_mixer_sequences",
     "make_window",
     "periodogram",
+    "periodogram_batch",
     "sample_times",
     "sine",
     "snr_from_samples",

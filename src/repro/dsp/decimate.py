@@ -11,6 +11,17 @@ Each structure is implemented operationally (integrator/comb chains,
 polyphase-free direct convolution) rather than as a single black-box
 filter, so that the digital section can be locked/unlocked at the block
 level by the MixLock baseline.
+
+Every stage also takes a ``(keys, samples)`` matrix through
+``process_matrix``: key sweeps decimate the whole batch in one pass
+instead of re-entering the chain per key.  The matrix path is
+bit-identical to running ``process`` row by row — integrators are
+per-row cumulative sums (NumPy accumulates each row of an ``axis=-1``
+cumsum in the same sequential order as the 1-D call), combs and
+subsampling are elementwise, and the FIR stages keep the *same*
+``np.convolve`` primitive per row, because its accumulation order (a
+BLAS dot under the hood) is implementation-defined and no re-ordered
+vectorised formulation is guaranteed to round identically.
 """
 
 from __future__ import annotations
@@ -62,6 +73,27 @@ class CicDecimator:
             x = x - delayed
         return x / self.gain
 
+    def process_matrix(self, samples: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`process` of a ``(keys, samples)`` matrix.
+
+        One pass decimates every key; each row is bit-identical to the
+        1-D call (cumulative sums accumulate per row in the same order,
+        combs and the gain division are elementwise).
+        """
+        x = np.asarray(samples, dtype=complex if np.iscomplexobj(samples) else float)
+        if x.ndim != 2:
+            raise ValueError(f"expected a (keys, samples) matrix, got shape {x.shape}")
+        for _ in range(self.order):
+            x = np.cumsum(x, axis=-1)
+        x = x[:, :: self.rate]
+        dd = self.differential_delay
+        for _ in range(self.order):
+            delayed = np.concatenate(
+                [np.zeros((x.shape[0], dd), dtype=x.dtype), x[:, :-dd]], axis=-1
+            )
+            x = x - delayed
+        return x / self.gain
+
 
 @dataclass
 class FirDecimator:
@@ -79,6 +111,25 @@ class FirDecimator:
         """Filter then keep every ``rate``-th sample ('same' alignment)."""
         y = np.convolve(samples, self.taps, mode="same")
         return y[:: self.rate]
+
+    def process_matrix(self, samples: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`process` of a ``(keys, samples)`` matrix.
+
+        The convolution stays ``np.convolve`` per row — its inner
+        accumulation order is implementation-defined (BLAS dot), so no
+        re-ordered whole-matrix formulation is guaranteed bit-identical
+        to the scalar path.  Everything around it (stacking, 'same'
+        alignment, subsampling) is batched.
+        """
+        x = np.asarray(samples)
+        if x.ndim != 2:
+            raise ValueError(f"expected a (keys, samples) matrix, got shape {x.shape}")
+        if x.shape[0] == 0:
+            out_n = max(x.shape[1], self.taps.size)  # np.convolve 'same'
+            dtype = np.result_type(x.dtype, self.taps.dtype)
+            return np.empty((0, out_n), dtype=dtype)[:, :: self.rate]
+        y = np.stack([np.convolve(row, self.taps, mode="same") for row in x])
+        return y[:, :: self.rate]
 
 
 @dataclass
@@ -134,6 +185,28 @@ class DecimationChain:
         x = x.astype(float)
         for stage in self._stages:
             x = stage.process(x)
+        return x
+
+    def process_matrix(self, samples: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`process` of a ``(keys, samples)`` matrix.
+
+        Decimates every key in one pass through each stage; rows are
+        bit-identical to the per-key scalar chain (see the stage
+        ``process_matrix`` docstrings for the exactness argument).
+        """
+        x = np.asarray(samples)
+        if x.ndim != 2:
+            raise ValueError(f"expected a (keys, samples) matrix, got shape {x.shape}")
+        if np.iscomplexobj(x):
+            real = x.real.astype(float)
+            imag = x.imag.astype(float)
+            for stage in self._stages:
+                real = stage.process_matrix(real)
+                imag = stage.process_matrix(imag)
+            return real + 1j * imag
+        x = x.astype(float)
+        for stage in self._stages:
+            x = stage.process_matrix(x)
         return x
 
 

@@ -125,6 +125,46 @@ def periodogram(samples: np.ndarray, fs: float, window: str = "hann") -> Spectru
     return Spectrum(freqs=freqs, power=power, fs=fs, n=n, window=win)
 
 
+def periodogram_batch(
+    samples: np.ndarray, fs: float, window: str = "hann"
+) -> list[Spectrum]:
+    """Calibrated periodograms of a ``(keys, samples)`` matrix, one pass.
+
+    Key sweeps measure many records of one length at one clock, so the
+    windowing and FFT run over the whole matrix (the FFT is applied
+    along the last axis, which transforms each row exactly as the 1-D
+    call does) and the window is designed once.  Per-row spectra are
+    bit-identical to :func:`periodogram` (guarded in
+    ``tests/test_dsp_windows_spectrum.py``).
+    """
+    x = np.asarray(samples)
+    if x.ndim != 2:
+        raise ValueError(f"expected a (keys, samples) matrix, got shape {x.shape}")
+    n_keys, n = x.shape
+    if n_keys == 0:
+        return []
+    if n < 8:
+        raise ValueError(f"need at least 8 samples, got {n}")
+    win = make_window(window, n)
+    xw = x * win.samples
+    scale = 1.0 / (n**2 * win.coherent_gain**2 * win.noise_bandwidth_bins)
+    if np.iscomplexobj(x):
+        spec = np.fft.fftshift(np.fft.fft(xw, axis=-1), axes=-1)
+        freqs = np.fft.fftshift(np.fft.fftfreq(n, d=1.0 / fs))
+        power = np.abs(spec) ** 2 * scale
+    else:
+        spec = np.fft.rfft(xw, axis=-1)
+        freqs = np.fft.rfftfreq(n, d=1.0 / fs)
+        power = np.abs(spec) ** 2 * (2.0 * scale)
+        power[:, 0] *= 0.5
+        if n % 2 == 0:
+            power[:, -1] *= 0.5
+    return [
+        Spectrum(freqs=freqs, power=power[k], fs=fs, n=n, window=win)
+        for k in range(n_keys)
+    ]
+
+
 def welch_psd(
     samples: np.ndarray,
     fs: float,

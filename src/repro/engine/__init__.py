@@ -38,6 +38,24 @@ Backends
 * **auto** (default) — vectorized whenever the compiled kernel is
   available, reference otherwise.
 
+Threading
+---------
+
+The kernel's key loop is its second parallel axis: the build tries
+pthreads first (falling back to the identical sequential build on
+toolchains without them), and each batch call then spawns a worker
+team that pulls keys off an atomic counter and joins before the call
+returns.  Keys share no mutable state and per-key arithmetic is
+untouched, so the thread count cannot change any result —
+1-vs-N-thread runs are bit-identical (guarded in
+``tests/test_engine.py``).  Per-call teams are what keeps ``fork()``
+safe (the campaign worker pools fork): no threading runtime outlives a
+call — the reason this is pthreads, not OpenMP.
+``REPRO_ENGINE_THREADS`` pins the count (unset = one thread per core,
+resolved per kernel call); ``REPRO_ENGINE_DISABLE_KERNEL`` reports the
+kernel unavailable, forcing the reference fallback — the CI leg that
+keeps the no-compiler path green.
+
 The backends are *bit-exact* (same ``ModulatorResult.output``, ``bits``
 and ``tank_voltage`` arrays): they read identical precomputed inputs,
 keep identical operand order, and share the one in-loop transcendental
@@ -69,6 +87,31 @@ stimulus waveform across the keys of one batch.  All three are
 deterministic value caches — hitting them cannot change any result.
 ``clear_caches()`` (engine method and module-level hook for the default
 engine) empties the persistent ones for tests and long-running sweeps.
+
+Behind the in-memory LRU an engine may attach a cross-process
+:class:`~repro.engine.store.CalibrationStore` — a directory of
+atomically-written calibration results, keyed like the LRU (the
+campaign layer keys on ``(lot_seed, chip_id, standard_index)``) —
+which ``calibrated()`` reads through and writes through.  Campaign
+worker pools share one per campaign (each die of a fleet calibrated
+once campaign-wide instead of once per worker), and
+``REPRO_CALIBRATION_STORE`` attaches one to the default engine for a
+whole process tree.  ``clear_caches()`` clears an attached store too.
+
+Batched post-processing
+-----------------------
+
+The post-integration stages batch along the key axis as well, so they
+cannot become the serial tail of a sweep: ``run_receiver`` regroups
+modulator outputs into ``(keys, samples)`` matrices for
+:meth:`~repro.receiver.chain.DigitalChain.process_matrix` (slicer,
+fs/4 mixer and decimators in one pass per batch), and the
+``measure_*_batch``/oracle sweep primitives take their spectra through
+:func:`~repro.dsp.spectrum.periodogram_batch` (one windowed FFT over
+the whole matrix).  Both are bit-identical per key to the scalar
+paths; the calibration layer's speculative batched coordinate descent
+(:func:`~repro.calibration.optimizer.coordinate_descent` with
+``batch_objective``) builds on the same primitives.
 """
 
 from repro.engine.cache import BoundedCache
@@ -80,13 +123,20 @@ from repro.engine.engine import (
     get_default_engine,
     set_default_backend,
 )
-from repro.engine.native import kernel_available
+from repro.engine.native import (
+    kernel_available,
+    kernel_threaded,
+    kernel_threads,
+    usable_cpus,
+)
 from repro.engine.plan import KeyPlan, build_plan, discretise_tank
 from repro.engine.request import ModulatorRequest, ReceiverRequest
+from repro.engine.store import CalibrationStore
 
 __all__ = [
     "BACKENDS",
     "BoundedCache",
+    "CalibrationStore",
     "EngineStats",
     "KeyPlan",
     "ModulatorRequest",
@@ -97,5 +147,8 @@ __all__ = [
     "discretise_tank",
     "get_default_engine",
     "kernel_available",
+    "kernel_threaded",
+    "kernel_threads",
     "set_default_backend",
+    "usable_cpus",
 ]

@@ -16,10 +16,29 @@
  * The batch ABI carries the per-key state (v, i_L) over the key axis:
  * each input is an array of per-key row pointers, and the outer loop
  * walks keys while the inner recursion walks time.  Keys are
- * independent, so per-key results cannot depend on batch composition.
+ * independent — each key reads only its own rows and parameter block
+ * and writes only its own output rows — so the key loop is also the
+ * kernel's second axis of parallelism: when the library is built with
+ * pthreads, keys are distributed over a per-call worker team pulling
+ * from an atomic counter (dynamic scheduling).  Thread count cannot
+ * change any result (per-key arithmetic is untouched and there is no
+ * shared mutable state), so 1-vs-N-thread runs are bit-identical;
+ * without pthreads the same loop simply runs sequentially.
+ *
+ * Raw pthreads, not OpenMP, deliberately: the workers are created and
+ * joined inside each call, so no threading runtime state ever
+ * outlives it — processes that fork() after using the kernel (the
+ * campaign layer's worker pools do) stay safe, where a forked child
+ * of an OpenMP parent deadlocks in the orphaned runtime.
  */
 
 #include <math.h>
+
+#ifdef REPRO_USE_PTHREADS
+#include <pthread.h>
+#include <stdatomic.h>
+#include <unistd.h>
+#endif
 
 /* Per-key parameter row layout; must match PARAM_FIELDS in native.py. */
 enum {
@@ -130,19 +149,100 @@ static void simulate_key(
     }
 }
 
+struct batch_task {
+    int n_keys, n_samples, substeps;
+    const double *const *i_in;
+    const double *const *comp_noise;
+    const double *const *comp_noise_out;
+    const double *const *dither;
+    const double *params;
+    double *const *output;
+    double *const *bits;
+    double *const *tank_v;
+#ifdef REPRO_USE_PTHREADS
+    atomic_int next_key;
+#endif
+};
+
+static void run_key(struct batch_task *t, int k)
+{
+    simulate_key(t->n_samples, t->substeps, t->i_in[k], t->comp_noise[k],
+                 t->comp_noise_out[k], t->dither[k],
+                 t->params + k * N_PARAMS,
+                 t->output[k], t->bits[k], t->tank_v[k]);
+}
+
+#ifdef REPRO_USE_PTHREADS
+/* Dynamic scheduling off an atomic counter: record lengths are uniform
+ * within a batch but clocked and buffer-mode keys cost differently per
+ * sample, so workers pull keys instead of taking fixed slices. */
+static void *batch_worker(void *arg)
+{
+    struct batch_task *t = arg;
+    for (;;) {
+        int k = atomic_fetch_add_explicit(&t->next_key, 1,
+                                          memory_order_relaxed);
+        if (k >= t->n_keys)
+            return (void *)0;
+        run_key(t, k);
+    }
+}
+#endif
+
 void repro_simulate_batch(
     int n_keys, int n_samples, int substeps,
     const double *const *i_in, const double *const *comp_noise,
     const double *const *comp_noise_out, const double *const *dither,
     const double *params,
-    double *const *output, double *const *bits, double *const *tank_v)
+    double *const *output, double *const *bits, double *const *tank_v,
+    int n_threads)
 {
-    for (int k = 0; k < n_keys; k++) {
-        simulate_key(n_samples, substeps, i_in[k], comp_noise[k],
-                     comp_noise_out[k], dither[k], params + k * N_PARAMS,
-                     output[k], bits[k], tank_v[k]);
+    struct batch_task task = {
+        n_keys, n_samples, substeps,
+        i_in, comp_noise, comp_noise_out, dither, params,
+        output, bits, tank_v,
+    };
+#ifdef REPRO_USE_PTHREADS
+    if (n_threads <= 0) {
+        long online = sysconf(_SC_NPROCESSORS_ONLN);
+        n_threads = online > 0 ? (int)online : 1;
     }
+    if (n_threads > n_keys)
+        n_threads = n_keys;
+    if (n_threads > 1) {
+        /* Spawn helpers, work in this thread too, join before
+         * returning — no thread outlives the call. */
+        pthread_t helpers[64];
+        int n_helpers = n_threads - 1;
+        int spawned = 0;
+        if (n_helpers > 64)
+            n_helpers = 64;
+        atomic_init(&task.next_key, 0);
+        for (int i = 0; i < n_helpers; i++) {
+            if (pthread_create(&helpers[spawned], 0, batch_worker, &task))
+                break;  /* fewer workers, same results */
+            spawned++;
+        }
+        batch_worker(&task);
+        for (int i = 0; i < spawned; i++)
+            pthread_join(helpers[i], 0);
+        return;
+    }
+#else
+    (void)n_threads;
+#endif
+    for (int k = 0; k < n_keys; k++)
+        run_key(&task, k);
 }
 
 /* ABI sanity hook for the loader. */
 int repro_kernel_n_params(void) { return N_PARAMS; }
+
+/* Whether this build can actually thread the key axis. */
+int repro_kernel_threaded(void) {
+#ifdef REPRO_USE_PTHREADS
+    return 1;
+#else
+    return 0;
+#endif
+}

@@ -14,9 +14,12 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
+import numpy as np
+
 from repro.engine import native
 from repro.engine.cache import BoundedCache
 from repro.engine.plan import build_plan
+from repro.engine.store import CalibrationStore
 from repro.engine.reference import simulate_plan
 from repro.engine.request import ModulatorRequest, ReceiverRequest
 from repro.engine.vectorized import simulate_plans
@@ -40,6 +43,7 @@ class EngineStats:
     n_reference_runs: int = 0
     n_vectorized_runs: int = 0
     integrate_seconds: float = 0.0
+    dsp_seconds: float = 0.0
 
 
 @dataclass
@@ -58,6 +62,7 @@ class SimulationEngine:
 
     backend: str = "auto"
     calibration_cache_size: int = 64
+    calibration_store: CalibrationStore | None = None
     calibration_cache: BoundedCache = field(init=False, repr=False)
     stats: EngineStats = field(default_factory=EngineStats, init=False)
 
@@ -127,8 +132,18 @@ class SimulationEngine:
     def run_receiver(
         self, chip: "Chip", requests: Sequence[ReceiverRequest]
     ) -> list[ReceiverResult]:
-        """Simulate modulator batches and push each through the digital
-        section (slicer, fs/4 mixer, decimation)."""
+        """Simulate modulator batches and push the whole batch through
+        the digital section (slicer, fs/4 mixer, decimation).
+
+        The modulator outputs are regrouped by record length and each
+        group goes through :meth:`DigitalChain.process_matrix` as one
+        ``(keys, samples)`` matrix, so the post-integration stage is
+        batched exactly like the integration itself.  Per-request
+        results are bit-identical to processing each record alone (the
+        matrix chain's per-row exactness property); the digital
+        programming bits select the standard profile and do not enter
+        the arithmetic, so they stay per-request metadata.
+        """
         requests = list(requests)
         osr = chip.design.osr
         mod_requests = [
@@ -143,15 +158,26 @@ class SimulationEngine:
             for r in requests
         ]
         mods = self.run(chip, mod_requests)
-        results = []
-        for request, mod in zip(requests, mods):
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            profile = request.digital_config or DigitalConfig()
+            groups.setdefault((request.n_baseband, profile), []).append(i)
+        results: list[ReceiverResult | None] = [None] * len(requests)
+        for (_, profile), indices in groups.items():
             chain = DigitalChain(
                 osr=osr,
                 logic_threshold=chip.design.front_end.logic_threshold,
-                digital_config=request.digital_config or DigitalConfig(),
+                digital_config=profile,
             )
-            results.append(chain.process(mod.output, request.fs))
-        return results
+            start = time.perf_counter()
+            outs = chain.process_matrix(
+                np.stack([mods[i].output for i in indices]),
+                fs=[requests[i].fs for i in indices],
+            )
+            self.stats.dsp_seconds += time.perf_counter() - start
+            for i, out in zip(indices, outs):
+                results[i] = out
+        return results  # type: ignore[return-value]
 
     def run_receiver_one(
         self, chip: "Chip", request: ReceiverRequest
@@ -178,6 +204,13 @@ class SimulationEngine:
         or dies with equal ids would collide.  Pass ``factory`` (a
         zero-argument callable) to control how a missing entry is
         computed; the default runs the full paper calibration procedure.
+
+        Lookup order is memory LRU, then the engine's cross-process
+        :class:`~repro.engine.store.CalibrationStore` (when attached),
+        then ``factory`` — whose result is written through to both.
+        Calibration results are deterministic values, so neither cache
+        layer can change what callers observe, only who pays for the
+        compute.
         """
         if factory is None:
             def factory():  # deferred import: calibration imports the receiver
@@ -187,19 +220,53 @@ class SimulationEngine:
 
         if key is None:
             key = (chip.variations.chip_id, standard.index)
+        if self.calibration_store is not None:
+            store = self.calibration_store
+            inner = factory
+
+            def factory():
+                return store.get_or_set(key, inner)
+
         return self.calibration_cache.get_or_set(key, factory)
 
     def clear_caches(self) -> None:
-        """Test hook: drop cached calibrations and reset statistics."""
+        """Test hook: drop cached calibrations (the attached store's
+        entries included) and reset statistics."""
         self.calibration_cache.clear()
+        if self.calibration_store is not None:
+            self.calibration_store.clear()
         self.stats = EngineStats()
+
+
+def _resolve_env_backend() -> str:
+    """Validate ``REPRO_ENGINE_BACKEND`` up front, with a clear error.
+
+    A typo'd backend name should fail here, naming the variable and the
+    valid choices — not surface later as an opaque failure somewhere
+    inside the engine (or, worse, silently run the wrong backend).
+    """
+    backend = os.environ.get("REPRO_ENGINE_BACKEND", "auto")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_ENGINE_BACKEND={backend!r} is not a valid engine "
+            f"backend; choose from {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def _resolve_env_store() -> CalibrationStore | None:
+    """Attach the cross-process calibration store named by
+    ``REPRO_CALIBRATION_STORE`` (unset: no store)."""
+    path = os.environ.get("REPRO_CALIBRATION_STORE")
+    return CalibrationStore(path) if path else None
 
 
 # REPRO_ENGINE_BACKEND forces the default engine's backend for a whole
 # process tree — how the CI matrix runs the identical suite on both
 # backends without touching any test.
 _DEFAULT_ENGINE = SimulationEngine(
-    backend=os.environ.get("REPRO_ENGINE_BACKEND", "auto")
+    backend=_resolve_env_backend(),
+    calibration_store=_resolve_env_store(),
 )
 
 
@@ -211,7 +278,10 @@ def get_default_engine() -> SimulationEngine:
 def set_default_backend(backend: str) -> None:
     """Switch the default engine's backend (CLI ``--backend`` hook)."""
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        raise ValueError(
+            f"unknown backend {backend!r}; "
+            f"choose from {', '.join(BACKENDS)}"
+        )
     _DEFAULT_ENGINE.backend = backend
 
 

@@ -1,11 +1,11 @@
 """Build, load and drive the compiled batch kernel (``_kernel.c``).
 
 The kernel is compiled on first use with the system C compiler into a
-per-user cache directory keyed by a hash of the source, so editing the
-source or upgrading the repo transparently rebuilds it.  Machines
-without a compiler simply report the kernel unavailable and the
-vectorized backend falls back to the (bit-identical) reference loop —
-nothing is ever ``pip install``-ed.
+per-user cache directory keyed by a hash of the source and flags, so
+editing the source or upgrading the repo transparently rebuilds it.
+Machines without a compiler simply report the kernel unavailable and
+the vectorized backend falls back to the (bit-identical) reference
+loop — nothing is ever ``pip install``-ed.
 
 Why C is bit-exact with the Python reference loop:
 
@@ -19,6 +19,27 @@ Why C is bit-exact with the Python reference loop:
 
 ``tests/test_engine.py`` holds the equivalence property over mixed-mode
 batches.
+
+Threading model
+---------------
+
+Keys are independent, so the kernel's key loop is its second axis of
+parallelism: the build first tries pthreads (``-pthread
+-DREPRO_USE_PTHREADS``) and, when that works, each batch call spawns a
+worker team that pulls keys off an atomic counter and joins before the
+call returns.  Per-key arithmetic is untouched and no state is shared,
+so the thread count cannot change any result — 1-vs-N-thread runs are
+bit-identical (guarded in ``tests/test_engine.py``).  Per-call teams
+are also what keeps ``fork()`` safe (campaign worker pools fork): no
+threading runtime state outlives a call, where a forked child of an
+OpenMP parent would deadlock in the orphaned runtime — which is why
+this is pthreads and not OpenMP.  The count is resolved per call from
+``REPRO_ENGINE_THREADS`` (unset means one thread per online core,
+``1`` forces the sequential walk); toolchains without pthreads compile
+the plain sequential kernel with the identical ABI.  Setting
+``REPRO_ENGINE_DISABLE_KERNEL`` reports the kernel unavailable, which
+forces the no-compiler reference fallback everywhere — the CI leg that
+keeps that path green.
 """
 
 from __future__ import annotations
@@ -52,6 +73,10 @@ _KERNEL_SOURCE = Path(__file__).with_name("_kernel.c")
 #: value-changing transformations (FMA contraction, fast-math) are not.
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
 
+#: Flag sets to try in order: pthreads (threaded key axis) first, then
+#: the plain sequential build for toolchains without pthread support.
+_CFLAG_SETS = (_CFLAGS + ("-pthread", "-DREPRO_USE_PTHREADS"), _CFLAGS)
+
 _lib: ctypes.CDLL | None = None
 _lib_checked = False
 
@@ -78,11 +103,9 @@ def _compiler() -> str | None:
     return None
 
 
-def _build_library() -> ctypes.CDLL | None:
-    if not _KERNEL_SOURCE.exists():
-        return None
+def _build_one(flags: tuple[str, ...]) -> ctypes.CDLL | None:
     source = _KERNEL_SOURCE.read_bytes()
-    tag = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    tag = hashlib.sha256(source + " ".join(flags).encode()).hexdigest()[:16]
     cache = _cache_dir()
     so_path = cache / f"kernel-{tag}.so"
     if not so_path.exists():
@@ -94,7 +117,7 @@ def _build_library() -> ctypes.CDLL | None:
         # never load a half-written library.
         fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
         os.close(fd)
-        cmd = [cc, *_CFLAGS, "-o", tmp, str(_KERNEL_SOURCE), "-lm"]
+        cmd = [cc, *flags, "-o", tmp, str(_KERNEL_SOURCE), "-lm"]
         try:
             subprocess.run(
                 cmd, check=True, capture_output=True, timeout=120
@@ -117,18 +140,83 @@ def _build_library() -> ctypes.CDLL | None:
         _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
         _DOUBLE_P,
         _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
+        ctypes.c_int,
     ]
     lib.repro_simulate_batch.restype = None
     return lib
 
 
+def _build_library() -> ctypes.CDLL | None:
+    if not _KERNEL_SOURCE.exists():
+        return None
+    # Threading changes throughput only, never results, so a toolchain
+    # without pthreads quietly gets the sequential build of the same ABI.
+    for flags in _CFLAG_SETS:
+        lib = _build_one(flags)
+        if lib is not None:
+            return lib
+    return None
+
+
 def kernel_available() -> bool:
-    """Whether the compiled batch kernel can be used on this machine."""
+    """Whether the compiled batch kernel can be used on this machine.
+
+    ``REPRO_ENGINE_DISABLE_KERNEL`` (any non-empty value) reports it
+    unavailable without touching the build cache — the switch the CI
+    no-compiler leg uses to exercise the reference fallback.
+    """
     global _lib, _lib_checked
+    if os.environ.get("REPRO_ENGINE_DISABLE_KERNEL"):
+        return False
     if not _lib_checked:
         _lib = _build_library()
         _lib_checked = True
     return _lib is not None
+
+
+def kernel_threaded() -> bool:
+    """Whether the loaded kernel was built with a threaded key axis."""
+    if not kernel_available():
+        return False
+    try:
+        return bool(_lib.repro_kernel_threaded())
+    except AttributeError:  # pre-threading library (stale hash collision)
+        return False
+
+
+def usable_cpus() -> int:
+    """CPUs this process may run on (affinity-aware where supported).
+
+    The sizing signal for everything that scales with the kernel's
+    threaded key axis: the calibrator's speculation depth, the
+    benchmark gates, the BENCH report.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def kernel_threads() -> int:
+    """Resolve the key-axis thread count from ``REPRO_ENGINE_THREADS``.
+
+    Returns 0 when the variable is unset — the kernel then uses one
+    thread per online core, capped at the batch size.  The value is
+    read per call so a process can re-pin its thread count between
+    batches.
+    """
+    raw = os.environ.get("REPRO_ENGINE_THREADS")
+    if raw is None or raw.strip() == "":
+        return 0
+    try:
+        n = int(raw)
+    except ValueError:
+        n = -1
+    if n < 1:
+        raise ValueError(
+            f"REPRO_ENGINE_THREADS must be a positive integer "
+            f"(or unset for one thread per core), got {raw!r}"
+        )
+    return n
 
 
 def _pointer_array(arrays: Sequence[np.ndarray]) -> ctypes.Array:
@@ -162,6 +250,7 @@ def simulate_plans_native(plans: Sequence[KeyPlan]) -> list[ModulatorResult]:
         _pointer_array(comp_noise_out), _pointer_array(dither),
         params.ctypes.data_as(_DOUBLE_P),
         _pointer_array(output), _pointer_array(bits), _pointer_array(tank_v),
+        kernel_threads(),
     )
     return [
         ModulatorResult(

@@ -1,0 +1,122 @@
+"""Cross-process calibration store: share fleet provisioning work.
+
+Calibrating a die is the engine's most expensive cached computation,
+and campaign workers are separate processes — each one's in-memory LRU
+starts empty, so before this store a fleet-provisioning sweep paid one
+full calibration per *worker touching a die* instead of one per die.
+The store closes that gap: a directory of atomically-written pickle
+files, keyed exactly like the in-memory cache (the campaign layer keys
+on ``(lot_seed, chip_id, standard_index)``), that every worker of a
+campaign — and, when ``REPRO_CALIBRATION_STORE`` names a directory,
+every process of a deployment — reads through.
+
+Design points:
+
+* **Deterministic values only.**  A calibration result is a pure
+  function of (die, standard, calibrator settings), so a store hit is
+  bitwise the result a recompute would produce (pickle round-trips
+  floats exactly) — sharing cannot change any report.
+* **Atomic, crash-safe writes.**  Entries are written to a temp file
+  and ``os.replace``-d into place; readers never see a torn entry, and
+  a corrupt or half-written file is treated as a miss.
+* **Keys verified, not trusted.**  File names are key digests; the full
+  key is stored inside the entry and checked on read, so a digest
+  collision degrades to a miss instead of serving the wrong die.
+* **Auditable computes.**  Every :meth:`put` appends one line to
+  ``events.log`` (O_APPEND, so concurrent workers interleave whole
+  lines).  ``benchmarks/test_bench_campaign.py`` counts those lines to
+  guard the "each die calibrated once per fleet, not once per worker"
+  property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Name of the per-store compute audit log.
+EVENTS_FILE = "events.log"
+
+
+class CalibrationStore:
+    """A directory of calibration results shared across processes.
+
+    Args:
+        path: Store directory; created (parents included) when missing.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+        return self.path / f"cal-{digest}.pkl"
+
+    def get(self, key: tuple):
+        """The stored value for ``key``, or None on any kind of miss."""
+        try:
+            with open(self._entry(key), "rb") as fh:
+                stored_key, value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            return None  # missing, torn, or from an incompatible version
+        if stored_key != key:
+            return None  # digest collision: miss, never the wrong die
+        return value
+
+    def put(self, key: tuple, value) -> None:
+        """Atomically store ``value`` under ``key`` and log the compute."""
+        entry = self._entry(key)
+        fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=str(self.path))
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((key, value), fh)
+            os.replace(tmp, entry)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        line = f"{os.getpid()} {key!r}\n".encode()
+        log_fd = os.open(
+            self.path / EVENTS_FILE, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(log_fd, line)
+        finally:
+            os.close(log_fd)
+
+    def get_or_set(self, key: tuple, factory):
+        """Read-through helper: store hit, else compute and store."""
+        value = self.get(key)
+        if value is None:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("cal-*.pkl"))
+
+    def compute_events(self) -> list[str]:
+        """The audit log: one line per value computed into the store."""
+        try:
+            text = (self.path / EVENTS_FILE).read_text()
+        except OSError:
+            return []
+        return [line for line in text.splitlines() if line]
+
+    def clear(self) -> None:
+        """Drop every entry and the audit log (``clear_caches`` hook)."""
+        for entry in self.path.glob("cal-*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        try:
+            (self.path / EVENTS_FILE).unlink()
+        except OSError:
+            pass

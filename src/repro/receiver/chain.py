@@ -11,11 +11,17 @@ output) in the paper.
 After slicing, the stream is down-converted by the multiplier-free fs/4
 mixer and decimated by the OSR through the CIC + compensation + half-band
 chain of :mod:`repro.dsp.decimate`.
+
+Key sweeps go through :meth:`DigitalChain.process_matrix`: the slicer,
+mixer and decimators all take the whole ``(keys, samples)`` batch in one
+pass (the engine's ``run_receiver`` routes batched requests through it),
+with per-key rows bit-identical to :meth:`DigitalChain.process`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -73,3 +79,49 @@ class DigitalChain:
         q_dec = self._decimator.process(q_stream)
         baseband = i_dec + 1j * q_dec
         return ReceiverResult(baseband=baseband, fs_out=fs / self.osr, fs_mod=fs)
+
+    def process_matrix(
+        self, modulator_outputs: np.ndarray, fs: float | Sequence[float]
+    ) -> list[ReceiverResult]:
+        """Batched :meth:`process`: a ``(keys, samples)`` matrix in one pass.
+
+        The slicer and fs/4 mixer are elementwise over the matrix, and
+        the I and Q streams of every key are stacked into a single
+        ``(2 * keys, samples)`` matrix so the decimation chain runs once
+        for the whole batch.  Per-key results are bit-identical to the
+        scalar method (guarded in ``tests/test_receiver_chain.py``).
+
+        Args:
+            modulator_outputs: ``(keys, samples)`` modulator records.
+            fs: Modulator clock rate, shared or one per key.
+        """
+        outputs = np.asarray(modulator_outputs)
+        if outputs.ndim != 2:
+            raise ValueError(
+                f"expected a (keys, samples) matrix, got shape {outputs.shape}"
+            )
+        n_keys, n_samples = outputs.shape
+        fs_per_key = (
+            [float(fs)] * n_keys
+            if np.isscalar(fs)
+            else [float(f) for f in fs]
+        )
+        if len(fs_per_key) != n_keys:
+            raise ValueError(
+                f"got {len(fs_per_key)} clock rates for {n_keys} keys"
+            )
+        if n_keys == 0:
+            return []
+        sliced = self.slice_input(outputs)
+        seq_i, seq_q = fs4_mixer_sequences(n_samples)
+        streams = np.concatenate([sliced * seq_i, sliced * seq_q], axis=0)
+        decimated = self._decimator.process_matrix(streams)
+        baseband = decimated[:n_keys] + 1j * decimated[n_keys:]
+        return [
+            ReceiverResult(
+                baseband=baseband[k],
+                fs_out=fs_per_key[k] / self.osr,
+                fs_mod=fs_per_key[k],
+            )
+            for k in range(n_keys)
+        ]

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.dsp.metrics import SfdrMeasurement, ToneMeasurement, band_snr, two_tone_sfdr
-from repro.dsp.spectrum import Spectrum, periodogram
+from repro.dsp.spectrum import Spectrum, periodogram, periodogram_batch
 from repro.dsp.tones import coherent_frequency
 from repro.receiver.config import ConfigWord
 from repro.receiver.receiver import Chip
@@ -119,10 +119,12 @@ def measure_modulator_snr_batch(
     ]
     results = engine.run(chip, requests)
     f_lo, f_hi = signal_band(standard, chip.design.osr)
-    return [
-        band_snr(periodogram(r.output, standard.fs), f_sig, f_lo, f_hi)
-        for r in results
-    ]
+    if not results:
+        return []
+    spectra = periodogram_batch(
+        np.stack([r.output for r in results]), standard.fs
+    )
+    return [band_snr(s, f_sig, f_lo, f_hi) for s in spectra]
 
 
 def measure_receiver_snr_batch(
@@ -158,10 +160,12 @@ def measure_receiver_snr_batch(
     results = engine.run_receiver(chip, requests)
     half = standard.fs / (4.0 * osr)
     f_tone_bb = f_sig - standard.fs / 4.0
-    return [
-        band_snr(periodogram(r.baseband, r.fs_out), f_tone_bb, -half, half)
-        for r in results
-    ]
+    if not results:
+        return []
+    spectra = periodogram_batch(
+        np.stack([r.baseband for r in results]), results[0].fs_out
+    )
+    return [band_snr(s, f_tone_bb, -half, half) for s in spectra]
 
 
 def measure_sfdr_batch(
@@ -199,11 +203,13 @@ def measure_sfdr_batch(
     ]
     results = engine.run(chip, requests)
     f_lo, f_hi = signal_band(standard, osr)
+    if not results:
+        return []
+    spectra = periodogram_batch(
+        np.stack([r.output for r in results]), standard.fs
+    )
     return [
-        two_tone_sfdr(
-            periodogram(r.output, standard.fs), f1, f2, f_lo, f_hi, search_bins=1
-        )
-        for r in results
+        two_tone_sfdr(s, f1, f2, f_lo, f_hi, search_bins=1) for s in spectra
     ]
 
 

@@ -124,3 +124,86 @@ class TestProcedure:
             Chip(variations=fab.draw(1)), ref_standard
         )
         assert other.config.encode() != quick_calibration.config.encode()
+
+
+class TestSpeculativeBatchedDescent:
+    """Batched probing must replay the sequential descent exactly."""
+
+    def _noisy_objective(self):
+        # Deterministic but non-separable: couples fields so the accept
+        # path actually matters, with plateaus to exercise ties.
+        def score(cfg: ConfigWord) -> float:
+            return (
+                -abs(cfg.gmin_code - 37)
+                - 0.5 * abs(cfg.dac_code - 11)
+                - 0.25 * abs((cfg.gmin_code % 5) - (cfg.preamp_code % 5))
+            )
+        return score
+
+    @pytest.mark.parametrize("speculation", ["rounds", "deep"])
+    def test_replay_identical_to_sequential(self, speculation):
+        objective = self._noisy_objective()
+        fields = (("gmin_code", 6), ("dac_code", 6), ("preamp_code", 5))
+        sequential = coordinate_descent(
+            objective, ConfigWord(), fields=fields, passes=2
+        )
+        batched = coordinate_descent(
+            objective,
+            ConfigWord(),
+            fields=fields,
+            passes=2,
+            batch_objective=lambda configs: [objective(c) for c in configs],
+            speculation=speculation,
+        )
+        assert batched.config == sequential.config
+        assert batched.score == sequential.score
+        assert batched.n_evaluations == sequential.n_evaluations
+        assert [(t.config, t.score) for t in batched.trace] == [
+            (t.config, t.score) for t in sequential.trace
+        ]
+
+    def test_unknown_speculation_rejected(self):
+        with pytest.raises(ValueError, match="speculation"):
+            coordinate_descent(
+                lambda c: 0.0,
+                ConfigWord(),
+                batch_objective=lambda cs: [0.0] * len(cs),
+                speculation="wild",
+            )
+
+    def test_sequential_mode_never_speculates(self):
+        calls = []
+
+        def objective(cfg: ConfigWord) -> float:
+            calls.append(cfg.encode())
+            return 0.0
+
+        coordinate_descent(objective, ConfigWord(), fields=(("lna_gain", 4),))
+        assert len(calls) == len(set(calls))  # memoised, probe-for-probe
+
+
+class TestBatchedCalibrator:
+    @pytest.mark.slow
+    def test_batched_calibration_identical(self, hero_chip, ref_standard):
+        """The tentpole exactness claim: batch probing cannot change the
+        secret key, the score, the log or the measurement count."""
+        sequential = Calibrator(
+            n_fft=2048, optimizer_passes=1, batch_probing=False
+        ).calibrate(hero_chip, ref_standard)
+        for speculation in ("rounds", "deep"):
+            batched = Calibrator(
+                n_fft=2048,
+                optimizer_passes=1,
+                batch_probing=True,
+                speculation=speculation,
+            ).calibrate(hero_chip, ref_standard)
+            assert batched.config == sequential.config
+            assert batched.snr_db == sequential.snr_db
+            assert batched.sfdr_db == sequential.sfdr_db
+            assert batched.n_measurements == sequential.n_measurements
+            assert batched.log == sequential.log
+
+    def test_speculation_auto_resolves(self):
+        assert Calibrator()._speculation_depth() in ("rounds", "deep")
+        assert Calibrator(speculation="deep")._speculation_depth() == "deep"
+        assert Calibrator(speculation="rounds")._speculation_depth() == "rounds"

@@ -361,3 +361,61 @@ class TestOracleAttackAdapters:
             report = make_attack(name).execute(scenario)
             assert not report.applicable
             assert "oracle" in str(report.extra("reason"))
+
+
+class TestCalibrationStoreSharing:
+    def test_fabric_triples_follow_attack_demand(self):
+        """Only attacks that calibrate declare triples: oracle-only
+        attacks must not make the campaign pre-provision anything."""
+        base = ThreatScenario(budget=2, n_fft=1024)
+        cells = [
+            CampaignCell("removal", base.with_(chip=ChipSpec(chip_id=1))),
+            CampaignCell("removal", base.with_(chip=ChipSpec(chip_id=0))),
+            CampaignCell("removal", base.with_(chip=ChipSpec(chip_id=1))),
+            CampaignCell("removal", base.with_(scheme="memristor")),
+            CampaignCell("brute-force", base.with_(chip=ChipSpec(chip_id=7))),
+            CampaignCell("transfer", base.with_(chip=ChipSpec(chip_id=2))),
+        ]
+        from repro.campaigns.campaign import fabric_triples
+
+        # removal provisions its own die; transfer its donor (die 1);
+        # brute-force only queries the oracle and provisions nothing.
+        assert fabric_triples(cells) == [(2020, 0, 0), (2020, 1, 0)]
+
+    def test_sharded_fleet_calibrates_once_per_die(self, tmp_path):
+        """The tentpole property: workers share provisioning through the
+        store, so a fleet campaign calibrates each die exactly once."""
+        from repro.engine import CalibrationStore
+
+        base = ThreatScenario(budget=2, n_fft=1024, seed=3)
+        cells = [
+            CampaignCell(
+                "removal",
+                base.with_(chip=ChipSpec(chip_id=chip_id), seed=seed),
+            )
+            for chip_id in range(2)
+            for seed in (3, 4)
+        ]
+        store = str(tmp_path / "store")
+        seq = run_campaign(cells)
+        par = run_campaign(cells, n_workers=2, calibration_store=store)
+        assert seq.reports == par.reports
+        events = CalibrationStore(store).compute_events()
+        assert len(events) == 2  # one calibration per die, fleet-wide
+
+    def test_sequential_run_persists_to_named_store(self, tmp_path):
+        from repro.engine import CalibrationStore, clear_caches
+
+        clear_caches()
+        store = str(tmp_path / "store")
+        base = ThreatScenario(budget=2, n_fft=1024, seed=3)
+        cells = [
+            CampaignCell("removal", base),
+            CampaignCell("removal", base.with_(seed=4)),
+        ]
+        run_campaign(cells, calibration_store=store)
+        assert len(CalibrationStore(store)) == 1
+        # A later campaign (fresh engine caches) reuses it: no new computes.
+        clear_caches()
+        run_campaign(cells, calibration_store=store)
+        assert len(CalibrationStore(store).compute_events()) == 1

@@ -133,3 +133,70 @@ def test_fir_decimator_same_alignment():
     out = fir.process(np.ones(64))
     assert out.size == 32
     assert out[5] == pytest.approx(1.0)
+
+
+class TestMatrixEquivalence:
+    """process_matrix must be bit-identical to process, row by row."""
+
+    def rows(self, n_keys, n_samples, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n_keys, n_samples))
+
+    @pytest.mark.parametrize("shape", [(1, 512), (5, 512), (3, 500), (4, 333)])
+    def test_cic_matrix_bit_identical(self, shape):
+        cic = CicDecimator(rate=4, order=4)
+        x = self.rows(*shape)
+        out = cic.process_matrix(x)
+        for row, got in zip(x, out):
+            assert np.array_equal(cic.process(row), got)
+
+    @pytest.mark.parametrize("shape", [(1, 256), (4, 255), (3, 77)])
+    def test_fir_matrix_bit_identical(self, shape):
+        fir = FirDecimator(taps=design_halfband(31), rate=2)
+        x = self.rows(*shape)
+        out = fir.process_matrix(x)
+        for row, got in zip(x, out):
+            assert np.array_equal(fir.process(row), got)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            (1, 64 * 32),       # one key
+            (6, 64 * 32),       # plain batch
+            (3, 64 * 32 + 17),  # record not a multiple of the OSR
+            (2, 999),           # not a multiple of any stage rate
+        ],
+    )
+    def test_chain_matrix_bit_identical(self, shape):
+        chain = DecimationChain(osr=64)
+        x = self.rows(*shape)
+        out = chain.process_matrix(x)
+        assert out.shape[0] == shape[0]
+        for row, got in zip(x, out):
+            assert np.array_equal(chain.process(row), got)
+
+    def test_chain_matrix_complex(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((3, 64 * 16)) + 1j * rng.standard_normal((3, 64 * 16))
+        chain = DecimationChain(osr=64)
+        out = chain.process_matrix(x)
+        for row, got in zip(x, out):
+            assert np.array_equal(chain.process(row), got)
+
+    def test_empty_batch(self):
+        chain = DecimationChain(osr=64)
+        out = chain.process_matrix(np.empty((0, 64 * 16)))
+        assert out.shape[0] == 0
+        fir = FirDecimator(taps=design_halfband(31), rate=2)
+        assert fir.process_matrix(np.empty((0, 128))).shape[0] == 0
+        cic = CicDecimator(rate=4)
+        assert cic.process_matrix(np.empty((0, 128))).shape[0] == 0
+
+    def test_matrix_rejects_wrong_rank(self):
+        chain = DecimationChain(osr=64)
+        with pytest.raises(ValueError):
+            chain.process_matrix(np.zeros(64 * 16))
+        with pytest.raises(ValueError):
+            FirDecimator(taps=design_halfband(31)).process_matrix(np.zeros(8))
+        with pytest.raises(ValueError):
+            CicDecimator(rate=4).process_matrix(np.zeros((2, 3, 4)))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dsp import make_window, periodogram, sine, welch_psd
+from repro.dsp import make_window, periodogram, periodogram_batch, sine, welch_psd
 from repro.dsp.tones import coherent_frequency
 
 
@@ -107,3 +107,38 @@ class TestSpectrumQueries:
         spec = periodogram(np.ones(1024), 1e6)
         with pytest.raises(ValueError):
             spec.peak_index(2e6, 3e6)
+
+
+class TestPeriodogramBatch:
+    """periodogram_batch must match periodogram bit for bit, per row."""
+
+    def test_real_rows_bit_identical(self, rng):
+        x = rng.standard_normal((4, 256))
+        batch = periodogram_batch(x, fs=1e6)
+        for row, spec in zip(x, batch):
+            one = periodogram(row, 1e6)
+            assert np.array_equal(one.power, spec.power)
+            assert np.array_equal(one.freqs, spec.freqs)
+
+    def test_complex_rows_bit_identical(self, rng):
+        x = rng.standard_normal((3, 128)) + 1j * rng.standard_normal((3, 128))
+        batch = periodogram_batch(x, fs=2e6)
+        for row, spec in zip(x, batch):
+            one = periodogram(row, 2e6)
+            assert np.array_equal(one.power, spec.power)
+            assert np.array_equal(one.freqs, spec.freqs)
+
+    def test_odd_record_length(self, rng):
+        x = rng.standard_normal((2, 255))
+        batch = periodogram_batch(x, fs=1.0)
+        for row, spec in zip(x, batch):
+            assert np.array_equal(periodogram(row, 1.0).power, spec.power)
+
+    def test_empty_batch(self):
+        assert periodogram_batch(np.empty((0, 64)), fs=1.0) == []
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            periodogram_batch(np.zeros(64), fs=1.0)
+        with pytest.raises(ValueError):
+            periodogram_batch(np.zeros((2, 4)), fs=1.0)

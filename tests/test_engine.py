@@ -7,10 +7,14 @@ import pytest
 from repro.engine import (
     BACKENDS,
     BoundedCache,
+    CalibrationStore,
     ModulatorRequest,
     ReceiverRequest,
     SimulationEngine,
     get_default_engine,
+    kernel_available,
+    kernel_threaded,
+    kernel_threads,
     set_default_backend,
 )
 from repro.receiver import (
@@ -267,3 +271,172 @@ class TestRunnerRegistry:
 
         with pytest.raises(KeyError):
             run_all(names=["fig99"])
+
+
+class TestKernelThreading:
+    """The kernel's key axis: thread-count invariance and env plumbing."""
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: nothing to thread"
+    )
+    def test_thread_count_invariance(self, chip, rng, monkeypatch):
+        """1-vs-N threads must be bit-identical over every loop mode."""
+        requests = _mixed_mode_requests(rng)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "1")
+        one = SimulationEngine(backend="vectorized").run(chip, requests)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "4")
+        four = SimulationEngine(backend="vectorized").run(chip, requests)
+        for a, b in zip(one, four):
+            assert np.array_equal(a.output, b.output)
+            assert np.array_equal(a.bits, b.bits)
+            assert np.array_equal(a.tank_voltage, b.tank_voltage)
+
+    def test_kernel_threads_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_THREADS", raising=False)
+        assert kernel_threads() == 0  # one thread per core
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "3")
+        assert kernel_threads() == 3
+        for bad in ("0", "-2", "many", "1.5", " "):
+            monkeypatch.setenv("REPRO_ENGINE_THREADS", bad)
+            if bad.strip() == "":
+                assert kernel_threads() == 0
+            else:
+                with pytest.raises(ValueError, match="REPRO_ENGINE_THREADS"):
+                    kernel_threads()
+
+    def test_disable_kernel_env(self, monkeypatch):
+        """REPRO_ENGINE_DISABLE_KERNEL forces the reference fallback."""
+        monkeypatch.setenv("REPRO_ENGINE_DISABLE_KERNEL", "1")
+        assert not kernel_available()
+        assert not kernel_threaded()
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: fallback is the norm"
+    )
+    def test_disabled_kernel_still_bit_identical(self, chip, rng, monkeypatch):
+        """The vectorized backend with the kernel disabled must run the
+        reference loop per key and produce identical results."""
+        requests = _mixed_mode_requests(rng)[:3]
+        native_results = SimulationEngine(backend="vectorized").run(chip, requests)
+        monkeypatch.setenv("REPRO_ENGINE_DISABLE_KERNEL", "1")
+        fallback = SimulationEngine(backend="vectorized").run(chip, requests)
+        for a, b in zip(native_results, fallback):
+            assert np.array_equal(a.output, b.output)
+
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: nothing to thread"
+    )
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="platform cannot fork",
+    )
+    def test_fork_after_threaded_batch_is_safe(self, chip, rng, monkeypatch):
+        """Forked workers must be able to use the threaded kernel after
+        the parent has — the reason the kernel threads with per-call
+        pthread teams instead of OpenMP, whose runtime deadlocks in
+        forked children.  Regression for the campaign worker pools."""
+        import multiprocessing
+
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "4")
+        requests = _mixed_mode_requests(rng)[:4]
+        parent = SimulationEngine(backend="vectorized").run(chip, requests)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            sums = pool.map(_threaded_child_checksums, [requests] * 2)
+        expected = [float(r.output.sum()) for r in parent]
+        assert sums[0] == expected and sums[1] == expected
+
+
+def _threaded_child_checksums(requests):
+    """Pool target for the fork-safety test (module-level: picklable)."""
+    results = SimulationEngine(backend="vectorized").run(Chip(), requests)
+    return [float(r.output.sum()) for r in results]
+
+
+class TestEnvBackendValidation:
+    def test_env_backend_accepts_valid_names(self, monkeypatch):
+        from repro.engine.engine import _resolve_env_backend
+
+        for name in BACKENDS:
+            monkeypatch.setenv("REPRO_ENGINE_BACKEND", name)
+            assert _resolve_env_backend() == name
+        monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
+        assert _resolve_env_backend() == "auto"
+
+    def test_env_backend_rejects_unknown_with_choices(self, monkeypatch):
+        from repro.engine.engine import _resolve_env_backend
+
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "vectorised")
+        with pytest.raises(ValueError) as err:
+            _resolve_env_backend()
+        message = str(err.value)
+        assert "REPRO_ENGINE_BACKEND" in message
+        for name in BACKENDS:
+            assert name in message
+
+    def test_set_default_backend_rejects_with_choices(self):
+        with pytest.raises(ValueError) as err:
+            set_default_backend("gpu")
+        message = str(err.value)
+        for name in BACKENDS:
+            assert name in message
+
+
+class TestCalibrationStore:
+    def test_roundtrip_and_audit(self, tmp_path):
+        store = CalibrationStore(tmp_path / "store")
+        assert store.get((2020, 0, 0)) is None
+        store.put((2020, 0, 0), {"snr": 61.5})
+        assert store.get((2020, 0, 0)) == {"snr": 61.5}
+        assert len(store) == 1
+        assert len(store.compute_events()) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.put((1, 2, 3), "value")
+        entry = next(store.path.glob("cal-*.pkl"))
+        entry.write_bytes(b"torn write")
+        assert store.get((1, 2, 3)) is None
+
+    def test_get_or_set_computes_once_across_instances(self, tmp_path):
+        calls = []
+        first = CalibrationStore(tmp_path)
+        second = CalibrationStore(tmp_path)  # another process's handle
+        for store in (first, second):
+            value = store.get_or_set((9, 9), lambda: calls.append(1) or "v")
+            assert value == "v"
+        assert len(calls) == 1
+
+    def test_clear_empties_store(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.put((1,), "a")
+        store.clear()
+        assert len(store) == 0
+        assert store.compute_events() == []
+
+    def test_engine_reads_through_store(self, tmp_path, chip):
+        store_path = tmp_path / "shared"
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "calibration"
+
+        for _ in range(2):  # two engines = two simulated processes
+            engine = SimulationEngine(
+                calibration_store=CalibrationStore(store_path)
+            )
+            value = engine.calibrated(
+                chip, STD, factory=factory, key=(2020, 0, STD.index)
+            )
+            assert value == "calibration"
+        assert len(calls) == 1
+
+    def test_clear_caches_clears_attached_store(self, tmp_path, chip):
+        engine = SimulationEngine(calibration_store=CalibrationStore(tmp_path))
+        engine.calibrated(chip, STD, factory=lambda: "v", key=(0, 0))
+        assert len(engine.calibration_store) == 1
+        engine.clear_caches()
+        assert len(engine.calibration_store) == 0
+

@@ -97,3 +97,49 @@ class TestStandards:
             standard_by_name("lorawan")
         with pytest.raises(KeyError):
             standard_by_index(9)
+
+
+class TestMatrixChain:
+    """DigitalChain.process_matrix vs per-key process, bit for bit."""
+
+    def chain(self):
+        return DigitalChain(osr=64, logic_threshold=0.0)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            (1, 64 * 32),       # one key
+            (5, 64 * 32),       # plain batch
+            (3, 64 * 32 + 13),  # record not a multiple of the OSR
+        ],
+    )
+    def test_bit_identical_to_scalar(self, shape, rng):
+        chain = self.chain()
+        records = rng.standard_normal(shape)
+        results = chain.process_matrix(records, STD.fs)
+        assert len(results) == shape[0]
+        for record, got in zip(records, results):
+            one = chain.process(record, STD.fs)
+            assert np.array_equal(one.baseband, got.baseband)
+            assert one.fs_out == got.fs_out
+            assert one.fs_mod == got.fs_mod
+
+    def test_per_key_clock_rates(self, rng):
+        chain = self.chain()
+        records = rng.standard_normal((2, 64 * 16))
+        fs = [STD.fs, STD.fs / 2]
+        results = chain.process_matrix(records, fs)
+        for record, f, got in zip(records, fs, results):
+            one = chain.process(record, f)
+            assert np.array_equal(one.baseband, got.baseband)
+            assert one.fs_out == got.fs_out
+
+    def test_empty_batch(self):
+        assert self.chain().process_matrix(np.empty((0, 64 * 16)), STD.fs) == []
+
+    def test_guards(self, rng):
+        chain = self.chain()
+        with pytest.raises(ValueError):
+            chain.process_matrix(np.zeros(64 * 16), STD.fs)
+        with pytest.raises(ValueError):
+            chain.process_matrix(np.zeros((2, 64 * 16)), [STD.fs])
