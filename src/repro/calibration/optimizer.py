@@ -16,7 +16,7 @@ the secret the paper argues an attacker lacks (Sec. VI-B.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Generator
 
 from repro.receiver.config import ConfigWord
 
@@ -56,6 +56,138 @@ class CoordinateDescentResult:
     trace: list[OptimizerTrace] = field(default_factory=list)
 
 
+def descent_machine(
+    start: ConfigWord,
+    fields: tuple[tuple[str, int], ...] = STEP14_FIELDS,
+    passes: int = 2,
+    initial_step: int = 8,
+    speculation: str = "deep",
+    batched: bool = True,
+) -> Generator[list[ConfigWord], list[float], CoordinateDescentResult]:
+    """The coordinate descent as a resumable state machine.
+
+    The machine owns the accept logic, the memo and the speculation
+    schedule, but not the measurements: it *yields* lists of candidate
+    configurations to score and receives their scores via ``send``, so
+    any driver — the in-process :func:`coordinate_descent` below, or
+    the fleet calibrator fusing many dies' machines into shared engine
+    batches — can advance it without changing what it decides.  The
+    yielded lists are exactly the submissions the pre-machine descent
+    made: speculative prefetch sets when ``batched``, single-config
+    misses otherwise, in the same order.  The final
+    :class:`CoordinateDescentResult` is the generator's return value.
+
+    ``batched=False`` reproduces the sequential objective protocol:
+    nothing is speculated and every yield is a one-config list, one per
+    unique evaluation.
+    """
+    if speculation not in ("deep", "rounds"):
+        raise ValueError(
+            f"unknown speculation depth {speculation!r}; "
+            "choose 'deep' or 'rounds'"
+        )
+    deep = batched and speculation == "deep"
+    cache: dict[int, float] = {}
+    pending: dict[int, float] = {}
+    trace: list[OptimizerTrace] = []
+
+    def prefetch(candidates: list[ConfigWord]):
+        if not batched:
+            return
+        todo: list[ConfigWord] = []
+        words: list[int] = []
+        for config in candidates:
+            word = config.encode()
+            if word in cache or word in pending or word in words:
+                continue
+            todo.append(config)
+            words.append(word)
+        if todo:
+            scores = yield todo
+            for word, score in zip(words, scores):
+                pending[word] = score
+
+    def evaluate(config: ConfigWord):
+        word = config.encode()
+        if word not in cache:
+            if word in pending:
+                cache[word] = pending.pop(word)
+            else:
+                cache[word] = (yield [config])[0]
+            trace.append(OptimizerTrace(config=config, score=cache[word]))
+        return cache[word]
+
+    def neighbours(config: ConfigWord, name: str, code_max: int, step: int):
+        code = getattr(config, name)
+        return [
+            config.replace(**{name: candidate})
+            for candidate in (code - step, code + step)
+            if 0 <= candidate <= code_max
+        ]
+
+    def step_schedule(width: int) -> list[int]:
+        code_max = (1 << width) - 1
+        schedule = []
+        step = min(initial_step, max(code_max // 4, 1))
+        while step >= 1:
+            schedule.append(step)
+            step //= 2
+        return schedule
+
+    current = start
+    best_score = yield from evaluate(current)
+    for _ in range(passes):
+        # Sweep-level speculation: both first-step neighbours of every
+        # field, in one engine batch, assuming no field moves.  Early
+        # fields always hit; later ones only miss if an earlier field
+        # accepted a move this sweep.
+        if deep:
+            sweep_candidates: list[ConfigWord] = []
+            for name, width in fields:
+                code_max = (1 << width) - 1
+                sweep_candidates.extend(
+                    neighbours(current, name, code_max, step_schedule(width)[0])
+                )
+            yield from prefetch(sweep_candidates)
+        for name, width in fields:
+            code_max = (1 << width) - 1
+            if deep:
+                # Field-level speculation: both neighbours at every
+                # step size of this field's schedule, in one batch.  A
+                # field that accepts no move (the common case once the
+                # descent settles) consumes the whole batch; an
+                # accepted move re-bases the smaller steps and their
+                # speculated probes are dropped.
+                field_candidates: list[ConfigWord] = []
+                for step in step_schedule(width):
+                    field_candidates.extend(
+                        neighbours(current, name, code_max, step)
+                    )
+                yield from prefetch(field_candidates)
+            for step in step_schedule(width):
+                improved = True
+                while improved:
+                    improved = False
+                    code = getattr(current, name)
+                    # Round-level speculation: this round's two probes.
+                    yield from prefetch(neighbours(current, name, code_max, step))
+                    for candidate in (code - step, code + step):
+                        if not 0 <= candidate <= code_max:
+                            continue
+                        trial = current.replace(**{name: candidate})
+                        score = yield from evaluate(trial)
+                        if score > best_score:
+                            best_score = score
+                            current = trial
+                            improved = True
+    return CoordinateDescentResult(
+        config=current,
+        score=best_score,
+        n_evaluations=len(cache),
+        trace=trace,
+    )
+
+
 def coordinate_descent(
     objective: Callable[[ConfigWord], float],
     start: ConfigWord,
@@ -72,6 +204,11 @@ def coordinate_descent(
     objective is typically a measured SNR (optionally blended with an
     SFDR penalty) and is treated as expensive: results are memoised so
     a configuration is never measured twice.
+
+    This is the in-process driver over :func:`descent_machine` — it
+    feeds every yielded candidate list to ``batch_objective`` (or, in
+    sequential mode, each single candidate to ``objective``) and sends
+    the scores back until the machine returns.
 
     Speculative batched probing
     ---------------------------
@@ -102,109 +239,21 @@ def coordinate_descent(
       the engine's threaded key axis); accepted moves re-base the
       remaining probes and drop their speculations.
     """
-    if speculation not in ("deep", "rounds"):
-        raise ValueError(
-            f"unknown speculation depth {speculation!r}; "
-            "choose 'deep' or 'rounds'"
-        )
-    deep = speculation == "deep"
-    cache: dict[int, float] = {}
-    pending: dict[int, float] = {}
-    trace: list[OptimizerTrace] = []
-
-    def prefetch(candidates: list[ConfigWord]) -> None:
-        if batch_objective is None:
-            return
-        todo: list[ConfigWord] = []
-        words: list[int] = []
-        for config in candidates:
-            word = config.encode()
-            if word in cache or word in pending or word in words:
-                continue
-            todo.append(config)
-            words.append(word)
-        if todo:
-            for word, score in zip(words, batch_objective(todo)):
-                pending[word] = score
-
-    def evaluate(config: ConfigWord) -> float:
-        word = config.encode()
-        if word not in cache:
-            if word in pending:
-                cache[word] = pending.pop(word)
-            elif batch_objective is not None:
-                cache[word] = batch_objective([config])[0]
-            else:
-                cache[word] = objective(config)
-            trace.append(OptimizerTrace(config=config, score=cache[word]))
-        return cache[word]
-
-    def neighbours(config: ConfigWord, name: str, code_max: int, step: int):
-        code = getattr(config, name)
-        return [
-            config.replace(**{name: candidate})
-            for candidate in (code - step, code + step)
-            if 0 <= candidate <= code_max
-        ]
-
-    def step_schedule(width: int) -> list[int]:
-        code_max = (1 << width) - 1
-        schedule = []
-        step = min(initial_step, max(code_max // 4, 1))
-        while step >= 1:
-            schedule.append(step)
-            step //= 2
-        return schedule
-
-    current = start
-    best_score = evaluate(current)
-    for _ in range(passes):
-        # Sweep-level speculation: both first-step neighbours of every
-        # field, in one engine batch, assuming no field moves.  Early
-        # fields always hit; later ones only miss if an earlier field
-        # accepted a move this sweep.
-        if deep:
-            sweep_candidates: list[ConfigWord] = []
-            for name, width in fields:
-                code_max = (1 << width) - 1
-                sweep_candidates.extend(
-                    neighbours(current, name, code_max, step_schedule(width)[0])
-                )
-            prefetch(sweep_candidates)
-        for name, width in fields:
-            code_max = (1 << width) - 1
-            if deep:
-                # Field-level speculation: both neighbours at every
-                # step size of this field's schedule, in one batch.  A
-                # field that accepts no move (the common case once the
-                # descent settles) consumes the whole batch; an
-                # accepted move re-bases the smaller steps and their
-                # speculated probes are dropped.
-                field_candidates: list[ConfigWord] = []
-                for step in step_schedule(width):
-                    field_candidates.extend(
-                        neighbours(current, name, code_max, step)
-                    )
-                prefetch(field_candidates)
-            for step in step_schedule(width):
-                improved = True
-                while improved:
-                    improved = False
-                    code = getattr(current, name)
-                    # Round-level speculation: this round's two probes.
-                    prefetch(neighbours(current, name, code_max, step))
-                    for candidate in (code - step, code + step):
-                        if not 0 <= candidate <= code_max:
-                            continue
-                        trial = current.replace(**{name: candidate})
-                        score = evaluate(trial)
-                        if score > best_score:
-                            best_score = score
-                            current = trial
-                            improved = True
-    return CoordinateDescentResult(
-        config=current,
-        score=best_score,
-        n_evaluations=len(cache),
-        trace=trace,
+    machine = descent_machine(
+        start,
+        fields=fields,
+        passes=passes,
+        initial_step=initial_step,
+        speculation=speculation,
+        batched=batch_objective is not None,
     )
+    try:
+        candidates = next(machine)
+        while True:
+            if batch_objective is not None:
+                scores = batch_objective(candidates)
+            else:
+                scores = [objective(config) for config in candidates]
+            candidates = machine.send(scores)
+    except StopIteration as stop:
+        return stop.value

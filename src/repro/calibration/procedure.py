@@ -24,28 +24,48 @@ All tuning decisions are made from *measurements* (oscillation frequency
 metering, SNR/SFDR readings), never from the chip model's internals, so
 the procedure works on any process-varied chip exactly as the real flow
 works on silicon.
+
+Resumable state machines
+------------------------
+
+The per-die step loop is written as generator state machines
+(:func:`calibration_machine` and its per-step sub-machines): the
+machine owns every tuning decision but performs no simulation — it
+*yields* :class:`CalibrationProbe` records (engine requests plus a pure
+decode) and receives each probe's decoded value via ``send``.  The
+sequential :class:`Calibrator` drives one machine to completion,
+satisfying each probe immediately; the fleet driver
+(:mod:`repro.calibration.fleet`) advances many dies' machines in
+lockstep, fusing every active die's current probe into one engine
+batch.  Either way each die issues the same requests in the same order
+— only the grouping differs — which is the bit-exactness argument.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator
 
-from repro.calibration.metering import frequency_of_oscillation_config, is_oscillating
-from repro.calibration.optimizer import CoordinateDescentResult, coordinate_descent
+from repro.calibration import metering
+from repro.calibration.optimizer import (
+    CoordinateDescentResult,
+    descent_machine,
+)
 from repro.dsp.units import dbm_to_vamp
 from repro.receiver.config import ConfigWord
 from repro.receiver.performance import (
     DEFAULT_POWER_DBM,
     SEGMENT_RANGES,
     GainSegment,
-    measure_modulator_snr,
-    measure_modulator_snr_batch,
-    measure_sfdr,
-    measure_sfdr_batch,
+    modulator_sfdr_probe,
+    modulator_snr_probe,
 )
 from repro.receiver.receiver import Chip
 from repro.receiver.standards import Standard
+
+if TYPE_CHECKING:
+    from repro.engine.request import ModulatorRequest
 
 #: Step-13 nominal bias codes "determined by simulation" on the nominal
 #: design — these are part of the secret calibration knowledge.
@@ -104,6 +124,383 @@ class CalibrationResult:
     n_measurements: int
     log: list[CalibrationLogEntry] = field(default_factory=list)
     segment_gains: tuple[GainSegment, ...] = ()
+
+
+class CalibrationFailed(RuntimeError):
+    """A die failed the calibration procedure.
+
+    Raised when a tuning measurement comes back physically impossible
+    to act on — today the one such path is the tank never oscillating
+    mid-bisection during frequency tuning (a dead die, or one whose
+    oscillation detector lost the line).  The exception carries the
+    context an operator triaging a lot needs:
+
+    Attributes:
+        step: The 14-step procedure step that failed.
+        chip_id: The die that failed (None until a driver attaches it).
+        log: The :class:`CalibrationLogEntry` audit trail up to the
+            failure, so the completed steps are not lost with the die.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        step: int | None = None,
+        chip_id: int | None = None,
+        log: tuple[CalibrationLogEntry, ...] | list[CalibrationLogEntry] = (),
+    ):
+        super().__init__(message)
+        self.step = step
+        self.chip_id = chip_id
+        self.log = list(log)
+
+
+@dataclass(frozen=True)
+class CalibrationProbe:
+    """One measurement a calibration state machine is waiting on.
+
+    Attributes:
+        requests: The engine requests this measurement submits — built
+            exactly as the scalar procedure builds them, so any driver
+            that runs them (alone, or fused with other dies' probes)
+            gets bit-identical results.
+        decode: Pure post-processing from the requests' results (in
+            request order) to the value the machine expects back.
+        kind: Debug/audit label (``"fosc"``, ``"oscillates"``,
+            ``"scores"``, ``"verify"``).
+    """
+
+    requests: tuple["ModulatorRequest", ...]
+    decode: Callable[[list], object]
+    kind: str = ""
+
+
+#: A calibration state machine: yields probes, receives decoded values.
+CalibrationMachine = Generator[CalibrationProbe, object, "CalibrationResult"]
+
+
+def _fosc_probe(
+    chip: Chip, config: ConfigWord, standard: Standard, seed: int
+) -> CalibrationProbe:
+    """Oscillation-frequency measurement (steps 5-6), as a probe.
+
+    The request and decode mirror
+    :func:`~repro.calibration.metering.frequency_of_oscillation_config`
+    field for field: same oscillation-mode record, same settled-half
+    slice, same meter.
+    """
+    request = chip.oscillation_request(config, standard.fs, seed=seed)
+
+    def decode(results) -> float | None:
+        settled = results[0].output[request.n_samples // 2 :]
+        return metering.oscillation_frequency(settled, standard.fs)
+
+    return CalibrationProbe((request,), decode, kind="fosc")
+
+
+def _oscillates_probe(
+    chip: Chip, config: ConfigWord, standard: Standard, gmq_code: int, seed: int
+) -> CalibrationProbe:
+    """Sustained-oscillation detection at a -Gm code (step 7)."""
+    request = chip.oscillation_request(
+        config, standard.fs, gmq_code=gmq_code, seed=seed
+    )
+
+    def decode(results) -> bool:
+        return metering.is_oscillating(
+            results[0].output[request.n_samples // 2 :], standard.fs
+        )
+
+    return CalibrationProbe((request,), decode, kind="oscillates")
+
+
+def _cap_tuning_machine(
+    chip: Chip, config: ConfigWord, standard: Standard, seed: int
+):
+    """Step 6 as a state machine; returns ``(config, achieved, n_meas)``.
+
+    Transcribes :meth:`Calibrator.tune_capacitor_arrays`' binary
+    searches probe for probe: each ``yield`` is one metered frequency
+    measurement, and the next probe depends on the decoded previous one
+    — which is exactly why fleet batching happens across dies (every
+    die at its own bisection level) rather than within one die's
+    inherently sequential search.
+    """
+    target = standard.f_center
+    n_measurements = 0
+
+    def fosc(cc: int, cf: int):
+        nonlocal n_measurements
+        n_measurements += 1
+        freq = yield _fosc_probe(
+            chip, config.replace(cc_coarse=cc, cf_fine=cf), standard, seed
+        )
+        if freq is None:
+            # Dead-die path, explicit: a mid-bisection non-oscillation
+            # cannot steer the search and must not masquerade as a
+            # frequency reading.
+            raise CalibrationFailed(
+                f"tank failed to oscillate at (cc={cc}, cf={cf}) "
+                "during frequency tuning",
+                step=6,
+            )
+        return freq
+
+    # Coarse: binary search with the fine array mid-scale so the fine
+    # range straddles the coarse residual in both directions.
+    lo, hi = 0, 255
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if (yield from fosc(mid, 128)) > target:
+            lo = mid + 1  # frequency too high -> need more C
+        else:
+            hi = mid
+    cc_best = lo
+    if cc_best > 0:
+        f_below = yield from fosc(cc_best - 1, 128)
+        f_here = yield from fosc(cc_best, 128)
+        if abs(f_below - target) < abs(f_here - target):
+            cc_best -= 1
+
+    lo, hi = 0, 255
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if (yield from fosc(cc_best, mid)) > target:
+            lo = mid + 1
+        else:
+            hi = mid
+    cf_best = lo
+    if cf_best > 0:
+        f_below = yield from fosc(cc_best, cf_best - 1)
+        f_here = yield from fosc(cc_best, cf_best)
+        if abs(f_below - target) < abs(f_here - target):
+            cf_best -= 1
+
+    achieved = yield from fosc(cc_best, cf_best)
+    return (
+        config.replace(cc_coarse=cc_best, cf_fine=cf_best),
+        achieved,
+        n_measurements,
+    )
+
+
+def _q_backoff_machine(
+    chip: Chip, config: ConfigWord, standard: Standard, seed: int
+):
+    """Step 7 as a state machine; returns ``(config, n_meas)``.
+
+    Binary search for the smallest oscillating -Gm code, then sit one
+    code below it (maximum loss cancellation without oscillation).
+    """
+    n_measurements = 0
+    lo, hi = 0, 63
+    while lo < hi:
+        mid = (lo + hi) // 2
+        n_measurements += 1
+        if (yield _oscillates_probe(chip, config, standard, mid, seed)):
+            hi = mid
+        else:
+            lo = mid + 1
+    critical = lo
+    return config.replace(gmq_code=max(critical - 1, 0)), n_measurements
+
+
+def _score_probe(
+    chip: Chip,
+    standard: Standard,
+    candidates: list[ConfigWord],
+    n_fft: int,
+    sfdr_weight: float,
+    seed: int,
+) -> CalibrationProbe:
+    """Step-14 objective scores for a candidate set, as one probe.
+
+    The SNR sweep and (when weighted) the SFDR sweep ride the same
+    probe, so a fleet round fuses both measurement kinds of every die
+    into a single engine submission.  Scores are computed by the same
+    probe builders and the same expression as
+    :meth:`Calibrator.optimise_biases`' batched objective, operand for
+    operand.
+    """
+    snr_requests, snr_decode = modulator_snr_probe(
+        chip, candidates, standard, n_fft=n_fft, seed=seed
+    )
+    if sfdr_weight > 0.0:
+        sfdr_requests, sfdr_decode = modulator_sfdr_probe(
+            chip, candidates, standard, n_fft=n_fft, seed=seed
+        )
+    else:
+        sfdr_requests, sfdr_decode = [], None
+    n_snr = len(snr_requests)
+
+    def decode(results) -> list[float]:
+        scores = [m.snr_db for m in snr_decode(results[:n_snr])]
+        if sfdr_weight > 0.0:
+            scores = [
+                score
+                + sfdr_weight * min(0.0, m.sfdr_db - standard.sfdr_spec_db)
+                for score, m in zip(scores, sfdr_decode(results[n_snr:]))
+            ]
+        return scores
+
+    return CalibrationProbe(
+        tuple(snr_requests) + tuple(sfdr_requests), decode, kind="scores"
+    )
+
+
+def _bias_optimisation_machine(
+    chip: Chip,
+    standard: Standard,
+    config: ConfigWord,
+    n_fft: int,
+    passes: int,
+    sfdr_weight: float,
+    seed: int,
+    batch_probing: bool,
+    speculation: str,
+):
+    """Step 14 as a state machine; returns ``(descent_result, n_meas)``.
+
+    Wraps the optimizer's :func:`~repro.calibration.optimizer.
+    descent_machine` — which owns the accept logic and speculation
+    schedule — turning each candidate list it wants scored into one
+    :func:`_score_probe`.  Measurements are metered per consumed
+    evaluation exactly as the sequential objective meters them;
+    speculated probes the descent never consumes are engine throughput,
+    not bench measurements of the modelled flow.
+    """
+    descent = descent_machine(
+        config, passes=passes, speculation=speculation, batched=batch_probing
+    )
+    try:
+        candidates = next(descent)
+        while True:
+            scores = yield _score_probe(
+                chip, standard, candidates, n_fft, sfdr_weight, seed
+            )
+            candidates = descent.send(scores)
+    except StopIteration as stop:
+        result = stop.value
+    per_evaluation = 2 if sfdr_weight > 0.0 else 1
+    return result, per_evaluation * result.n_evaluations
+
+
+def _verification_probe(
+    chip: Chip, standard: Standard, config: ConfigWord, seed: int
+) -> CalibrationProbe:
+    """Final full-record SNR + SFDR verification, as one probe."""
+    snr_requests, snr_decode = modulator_snr_probe(
+        chip, [config], standard, seed=seed
+    )
+    sfdr_requests, sfdr_decode = modulator_sfdr_probe(
+        chip, [config], standard, seed=seed
+    )
+
+    def decode(results) -> tuple[float, float]:
+        return (
+            snr_decode(results[:1])[0].snr_db,
+            sfdr_decode(results[1:])[0].sfdr_db,
+        )
+
+    return CalibrationProbe(
+        tuple(snr_requests) + tuple(sfdr_requests), decode, kind="verify"
+    )
+
+
+def calibration_machine(
+    chip: Chip,
+    standard: Standard,
+    n_fft: int = 4096,
+    optimizer_passes: int = 2,
+    sfdr_weight: float = 0.3,
+    seed: int = 0,
+    batch_probing: bool = True,
+    speculation: str = "rounds",
+    power_dbm: float = DEFAULT_POWER_DBM,
+) -> CalibrationMachine:
+    """The full 14-step procedure as a resumable state machine.
+
+    Yields :class:`CalibrationProbe` records and expects each probe's
+    decoded value back via ``send``; the generator's return value is
+    the :class:`CalibrationResult`.  A dead die raises
+    :class:`CalibrationFailed` with this die's id and the audit log up
+    to the failure attached.  ``speculation`` must already be resolved
+    (``"rounds"`` or ``"deep"``) — resolution is driver policy, see
+    :meth:`Calibrator._speculation_depth`.
+    """
+    n_measurements = 0
+    log: list[CalibrationLogEntry] = []
+    try:
+        # Steps 1-5 configure the loop topology for oscillation-mode
+        # tuning; the oscillation requests apply them on every
+        # measurement (comparator buffered, input off, loop off, -Gm max).
+        config = ConfigWord(
+            buffer_code=NOMINAL_BUFFER_CODE,
+            delay_code=NOMINAL_DELAY_CODE,
+            **NOMINAL_BIAS_CODES,
+        )
+        log.append(CalibrationLogEntry(1, "comparator configured as buffer"))
+        log.append(CalibrationLogEntry(2, "output buffer set", NOMINAL_BUFFER_CODE))
+        log.append(CalibrationLogEntry(3, "RF input disabled"))
+        log.append(CalibrationLogEntry(4, "feedback loop disabled"))
+        log.append(CalibrationLogEntry(5, "-Gm set to maximum", 63))
+
+        config, achieved, n = yield from _cap_tuning_machine(
+            chip, config, standard, seed
+        )
+        n_measurements += n
+        log.append(CalibrationLogEntry(6, "capacitor arrays tuned", achieved))
+
+        config, n = yield from _q_backoff_machine(chip, config, standard, seed)
+        n_measurements += n
+        log.append(CalibrationLogEntry(7, "-Gm backed off", config.gmq_code))
+
+        config = config.replace(fb_en=1, dac_en=1, comp_clk_en=1, gmin_en=1)
+        log.append(CalibrationLogEntry(8, "feedback loop restored"))
+        log.append(CalibrationLogEntry(9, "RF input applied at F0"))
+        log.append(CalibrationLogEntry(10, "Fs set to 4*F0", standard.fs))
+        log.append(CalibrationLogEntry(11, "loop delay set", NOMINAL_DELAY_CODE))
+
+        lna_code = vglna_gain_plan(chip, power_dbm)
+        config = config.replace(lna_gain=lna_code)
+        log.append(CalibrationLogEntry(12, "VGLNA tuned", lna_code))
+        log.append(CalibrationLogEntry(13, "bias blocks initialised"))
+
+        opt, n = yield from _bias_optimisation_machine(
+            chip,
+            standard,
+            config,
+            n_fft,
+            optimizer_passes,
+            sfdr_weight,
+            seed,
+            batch_probing,
+            speculation,
+        )
+        n_measurements += n
+        config = opt.config
+        log.append(CalibrationLogEntry(14, "bias optimisation done", opt.score))
+
+        snr, sfdr = yield _verification_probe(chip, standard, config, seed)
+        n_measurements += 2
+    except CalibrationFailed as failure:
+        if not failure.log:
+            failure.log = list(log)
+        if failure.chip_id is None:
+            failure.chip_id = chip.chip_id
+        raise
+    success = snr >= standard.snr_spec_db and sfdr >= standard.sfdr_spec_db - 10.0
+    return CalibrationResult(
+        config=config,
+        standard=standard,
+        achieved_frequency=achieved,
+        snr_db=snr,
+        sfdr_db=sfdr,
+        success=success,
+        n_measurements=n_measurements,
+        log=log,
+        segment_gains=segment_gain_plan(chip),
+    )
 
 
 def vglna_gain_plan(chip: Chip, power_dbm: float) -> int:
@@ -181,13 +578,27 @@ class Calibrator:
 
         return "deep" if kernel_threaded() and usable_cpus() >= 2 else "rounds"
 
-    # -- steps 5-6: frequency tuning --------------------------------------
+    # -- single-die machine driving ---------------------------------------
 
-    def _measure_fosc(self, chip: Chip, config: ConfigWord, standard: Standard) -> float | None:
-        self._n_measurements += 1
-        return frequency_of_oscillation_config(
-            chip, config, standard.fs, seed=self.seed
-        )
+    def _drive(self, chip: Chip, machine):
+        """Run a calibration state machine to completion on one die.
+
+        Each yielded probe is satisfied immediately through the default
+        engine — the sequential special case of the fleet driver's
+        lockstep loop.  Returns the machine's return value.
+        """
+        from repro.engine.engine import get_default_engine
+
+        engine = get_default_engine()
+        value = None
+        try:
+            while True:
+                probe = machine.send(value)
+                value = probe.decode(engine.run(chip, list(probe.requests)))
+        except StopIteration as stop:
+            return stop.value
+
+    # -- steps 5-6: frequency tuning --------------------------------------
 
     def tune_capacitor_arrays(
         self, chip: Chip, config: ConfigWord, standard: Standard
@@ -196,50 +607,15 @@ class Calibrator:
 
         Oscillation frequency falls monotonically with capacitance, and
         capacitance rises monotonically with either array code, so both
-        searches are classic binary searches on measured frequency.
+        searches are classic binary searches on measured frequency
+        (:func:`_cap_tuning_machine`).  A die whose tank stops
+        oscillating mid-bisection raises :class:`CalibrationFailed`.
         """
-        target = standard.f_center
-
-        def fosc(cc: int, cf: int) -> float:
-            freq = self._measure_fosc(
-                chip, config.replace(cc_coarse=cc, cf_fine=cf), standard
-            )
-            if freq is None:
-                raise RuntimeError(
-                    "tank failed to oscillate during frequency tuning"
-                )
-            return freq
-
-        # Coarse: binary search with the fine array mid-scale so the fine
-        # range straddles the coarse residual in both directions.
-        lo, hi = 0, 255
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if fosc(mid, 128) > target:
-                lo = mid + 1  # frequency too high -> need more C
-            else:
-                hi = mid
-        cc_best = lo
-        if cc_best > 0 and abs(fosc(cc_best - 1, 128) - target) < abs(
-            fosc(cc_best, 128) - target
-        ):
-            cc_best -= 1
-
-        lo, hi = 0, 255
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if fosc(cc_best, mid) > target:
-                lo = mid + 1
-            else:
-                hi = mid
-        cf_best = lo
-        if cf_best > 0 and abs(fosc(cc_best, cf_best - 1) - target) < abs(
-            fosc(cc_best, cf_best) - target
-        ):
-            cf_best -= 1
-
-        achieved = fosc(cc_best, cf_best)
-        return config.replace(cc_coarse=cc_best, cf_fine=cf_best), achieved
+        config, achieved, n = self._drive(
+            chip, _cap_tuning_machine(chip, config, standard, self.seed)
+        )
+        self._n_measurements += n
+        return config, achieved
 
     def back_off_q_enhancement(
         self, chip: Chip, config: ConfigWord, standard: Standard
@@ -247,24 +623,12 @@ class Calibrator:
         """Step 7: reduce -Gm until oscillation vanishes.
 
         Binary search for the smallest oscillating code, then sit one
-        code below it (maximum loss cancellation without oscillation).
-        """
-        def oscillates(code: int) -> bool:
-            self._n_measurements += 1
-            result = chip.simulate_oscillation(
-                config, standard.fs, gmq_code=code, seed=self.seed
-            )
-            return is_oscillating(result.output[2048:], standard.fs)
-
-        lo, hi = 0, 63
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if oscillates(mid):
-                hi = mid
-            else:
-                lo = mid + 1
-        critical = lo
-        return config.replace(gmq_code=max(critical - 1, 0))
+        code below it (:func:`_q_backoff_machine`)."""
+        config, n = self._drive(
+            chip, _q_backoff_machine(chip, config, standard, self.seed)
+        )
+        self._n_measurements += n
+        return config
 
     # -- step 14: bias optimisation ----------------------------------------
 
@@ -273,63 +637,62 @@ class Calibrator:
     ) -> CoordinateDescentResult:
         """Step 14: coordinate descent on measured SNR (+ SFDR shortfall).
 
-        With :attr:`batch_probing` the descent's speculative probe sets
-        are measured as engine batches.  A probed configuration scores
-        bitwise what the sequential objective would (the batched
-        measurements are bit-exact with the scalar ones and the score
-        expression is transcribed operand for operand), so the descent
-        — and therefore the secret key — is unchanged.  Measurements
-        are counted per *consumed* evaluation, exactly as the
-        sequential objective counts them; speculated probes the descent
-        never consumes are engine throughput, not bench measurements of
-        the modelled flow.
+        Drives :func:`_bias_optimisation_machine` — the single source
+        of the step-14 score expression, shared with :meth:`calibrate`
+        and the fleet driver.  With :attr:`batch_probing` the descent's
+        speculative probe sets are measured as engine batches; a probed
+        configuration scores bitwise what the sequential objective
+        would, so the descent — and therefore the secret key — is
+        unchanged.  Measurements are counted per *consumed* evaluation,
+        exactly as a per-measurement meter would count them; speculated
+        probes the descent never consumes are engine throughput, not
+        bench measurements of the modelled flow.
         """
-        def objective(candidate: ConfigWord) -> float:
-            self._n_measurements += 1
-            snr = measure_modulator_snr(
-                chip, candidate, standard, n_fft=self.n_fft, seed=self.seed
-            ).snr_db
-            score = snr
-            if self.sfdr_weight > 0.0:
-                self._n_measurements += 1
-                sfdr = measure_sfdr(
-                    chip, candidate, standard, n_fft=self.n_fft, seed=self.seed
-                ).sfdr_db
-                score += self.sfdr_weight * min(0.0, sfdr - standard.sfdr_spec_db)
-            return score
-
-        def batch_objective(candidates: list[ConfigWord]) -> list[float]:
-            snrs = measure_modulator_snr_batch(
-                chip, candidates, standard, n_fft=self.n_fft, seed=self.seed
-            )
-            scores = [m.snr_db for m in snrs]
-            if self.sfdr_weight > 0.0:
-                sfdrs = measure_sfdr_batch(
-                    chip, candidates, standard, n_fft=self.n_fft, seed=self.seed
-                )
-                scores = [
-                    score
-                    + self.sfdr_weight * min(0.0, m.sfdr_db - standard.sfdr_spec_db)
-                    for score, m in zip(scores, sfdrs)
-                ]
-            return scores
-
-        result = coordinate_descent(
-            objective,
-            config,
-            passes=self.optimizer_passes,
-            batch_objective=batch_objective if self.batch_probing else None,
-            speculation=self._speculation_depth() if self.batch_probing else "rounds",
+        result, n = self._drive(
+            chip,
+            _bias_optimisation_machine(
+                chip,
+                standard,
+                config,
+                self.n_fft,
+                self.optimizer_passes,
+                self.sfdr_weight,
+                self.seed,
+                self.batch_probing,
+                self._speculation_depth() if self.batch_probing else "rounds",
+            ),
         )
-        if self.batch_probing:
-            # The sequential objective meters one SNR (+ one SFDR)
-            # reading per unique consumed evaluation; the batched path
-            # meters identically, at the same total.
-            per_evaluation = 2 if self.sfdr_weight > 0.0 else 1
-            self._n_measurements += per_evaluation * result.n_evaluations
+        self._n_measurements += n
         return result
 
     # -- the full procedure ---------------------------------------------------
+
+    def machine(
+        self,
+        chip: Chip,
+        standard: Standard,
+        power_dbm: float = DEFAULT_POWER_DBM,
+    ) -> CalibrationMachine:
+        """This calibrator's 14-step procedure as a state machine.
+
+        The fleet driver (:class:`~repro.calibration.fleet.
+        FleetCalibrator`) builds one of these per die and advances them
+        in lockstep; :meth:`calibrate` drives a single one to
+        completion.  Both issue identical per-die probes.
+        """
+        return calibration_machine(
+            chip,
+            standard,
+            n_fft=self.n_fft,
+            optimizer_passes=self.optimizer_passes,
+            sfdr_weight=self.sfdr_weight,
+            seed=self.seed,
+            batch_probing=self.batch_probing,
+            speculation=(
+                self._speculation_depth() if self.batch_probing else "rounds"
+            ),
+            power_dbm=power_dbm,
+        )
 
     def calibrate(
         self,
@@ -337,57 +700,11 @@ class Calibrator:
         standard: Standard,
         power_dbm: float = DEFAULT_POWER_DBM,
     ) -> CalibrationResult:
-        """Run steps 1-14 and return the chip's secret key for ``standard``."""
+        """Run steps 1-14 and return the chip's secret key for ``standard``.
+
+        Raises :class:`CalibrationFailed` (step log and die id attached)
+        when the die cannot complete the procedure."""
         self._n_measurements = 0
-        log: list[CalibrationLogEntry] = []
-
-        # Steps 1-5 configure the loop topology for oscillation-mode
-        # tuning; Chip.simulate_oscillation applies them on every
-        # measurement (comparator buffered, input off, loop off, -Gm max).
-        config = ConfigWord(
-            buffer_code=NOMINAL_BUFFER_CODE,
-            delay_code=NOMINAL_DELAY_CODE,
-            **NOMINAL_BIAS_CODES,
-        )
-        log.append(CalibrationLogEntry(1, "comparator configured as buffer"))
-        log.append(CalibrationLogEntry(2, "output buffer set", NOMINAL_BUFFER_CODE))
-        log.append(CalibrationLogEntry(3, "RF input disabled"))
-        log.append(CalibrationLogEntry(4, "feedback loop disabled"))
-        log.append(CalibrationLogEntry(5, "-Gm set to maximum", 63))
-
-        config, achieved = self.tune_capacitor_arrays(chip, config, standard)
-        log.append(CalibrationLogEntry(6, "capacitor arrays tuned", achieved))
-
-        config = self.back_off_q_enhancement(chip, config, standard)
-        log.append(CalibrationLogEntry(7, "-Gm backed off", config.gmq_code))
-
-        config = config.replace(fb_en=1, dac_en=1, comp_clk_en=1, gmin_en=1)
-        log.append(CalibrationLogEntry(8, "feedback loop restored"))
-        log.append(CalibrationLogEntry(9, "RF input applied at F0"))
-        log.append(CalibrationLogEntry(10, "Fs set to 4*F0", standard.fs))
-        log.append(CalibrationLogEntry(11, "loop delay set", NOMINAL_DELAY_CODE))
-
-        lna_code = vglna_gain_plan(chip, power_dbm)
-        config = config.replace(lna_gain=lna_code)
-        log.append(CalibrationLogEntry(12, "VGLNA tuned", lna_code))
-        log.append(CalibrationLogEntry(13, "bias blocks initialised"))
-
-        opt = self.optimise_biases(chip, config, standard)
-        config = opt.config
-        log.append(CalibrationLogEntry(14, "bias optimisation done", opt.score))
-
-        snr = measure_modulator_snr(chip, config, standard, seed=self.seed).snr_db
-        sfdr = measure_sfdr(chip, config, standard, seed=self.seed).sfdr_db
-        self._n_measurements += 2
-        success = snr >= standard.snr_spec_db and sfdr >= standard.sfdr_spec_db - 10.0
-        return CalibrationResult(
-            config=config,
-            standard=standard,
-            achieved_frequency=achieved,
-            snr_db=snr,
-            sfdr_db=sfdr,
-            success=success,
-            n_measurements=self._n_measurements,
-            log=log,
-            segment_gains=segment_gain_plan(chip),
-        )
+        result = self._drive(chip, self.machine(chip, standard, power_dbm))
+        self._n_measurements = result.n_measurements
+        return result

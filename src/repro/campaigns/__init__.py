@@ -50,6 +50,7 @@ from repro.campaigns.campaign import (
     CampaignResult,
     expand_matrix,
     fabric_triples,
+    provision_fleet,
     run_campaign,
 )
 from repro.campaigns.report import AttackReport
@@ -96,6 +97,7 @@ __all__ = [
     "experiment_result_to_dict",
     "make_attack",
     "provision_calibration",
+    "provision_fleet",
     "run_campaign",
     "scenario_to_dict",
 ]

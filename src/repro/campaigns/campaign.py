@@ -12,10 +12,14 @@ come back deterministic and identical to a sequential run.
 Sharded campaigns share one cross-process
 :class:`~repro.engine.store.CalibrationStore` and run in two phases:
 the unique (lot, die, standard) calibrations the fabric cells need are
-provisioned over the pool first (each die calibrated once
-campaign-wide), then the attack cells execute against the warm store.
-Calibration results are deterministic values, so neither the store nor
-the phase split can change any report — only who pays for the compute.
+fleet-calibrated first — one lockstep
+:meth:`~repro.calibration.fleet.FleetCalibrator.calibrate_fleet` pass
+in the parent process, every bisection level batched across the whole
+lot onto the engine's threaded key axis — and written to the store in
+bulk, then the attack cells execute against the warm store.  Fleet
+results are bit-identical to per-die calibration and calibration
+results are deterministic values, so neither the store nor the phase
+split can change any report — only who pays for the compute.
 
 ``expand_matrix`` is the declarative front: attack x scheme x standard
 x chip-fleet grids in one call, the shape the paper's comparative
@@ -38,7 +42,6 @@ from repro.campaigns.scenario import (
     DEFAULT_LOT_SEED,
     ChipSpec,
     ThreatScenario,
-    provision_calibration,
 )
 from repro.engine import (
     CalibrationStore,
@@ -186,14 +189,60 @@ def _worker_init(backend: str | None, store_path: str | None = None) -> None:
         engine.calibration_store = CalibrationStore(store_path)
 
 
-def _provision_triple(triple: tuple[int, int, int]) -> None:
-    """Calibrate one (lot, die, standard) into the worker's engine and
-    the campaign's shared calibration store."""
-    lot_seed, chip_id, standard_index = triple
-    provision_calibration(
-        ChipSpec(lot_seed=lot_seed, chip_id=chip_id),
-        standard_by_index(standard_index),
-    )
+def provision_fleet(
+    triples: Sequence[tuple[int, int, int]],
+    store: CalibrationStore | str,
+    backend: str | None = None,
+) -> int:
+    """Fleet-calibrate ``triples`` into ``store`` in one lockstep pass.
+
+    Builds each missing triple's die and runs one
+    :meth:`~repro.calibration.fleet.FleetCalibrator.calibrate_fleet`
+    over the whole (possibly mixed-lot, mixed-standard) fleet with the
+    design-house default calibrator.  Results stream into the store as
+    each die's machine completes, with ``"fleet"``-tagged audit events
+    — one audit line per die computed, so "each die calibrated once
+    campaign-wide" stays countable, and a die that fails mid-lot does
+    not discard the dies already calibrated (a retry resumes from the
+    warm store).  Already-stored triples are skipped.  The lockstep
+    batches run on the engine's threaded key axis, whose worker
+    threads never outlive a call — forking campaign workers afterwards
+    is safe.
+
+    Returns the number of triples actually computed.
+    """
+    from repro.calibration.fleet import FleetCalibrator
+
+    if not isinstance(store, CalibrationStore):
+        store = CalibrationStore(store)
+    triples = list(triples)
+    todo = [
+        triple
+        for triple, hit in zip(triples, store.get_many(triples))
+        if hit is None
+    ]
+    if not todo:
+        return 0
+    chips = [
+        ChipSpec(lot_seed=lot_seed, chip_id=chip_id).build()
+        for lot_seed, chip_id, _ in todo
+    ]
+    standards = [standard_by_index(index) for _, _, index in todo]
+    engine = get_default_engine()
+    previous = engine.backend
+    if backend is not None:
+        set_default_backend(backend)
+    try:
+        FleetCalibrator().calibrate_fleet(
+            chips,
+            standards,
+            on_result=lambda die, result: store.put(
+                todo[die], result, event="fleet"
+            ),
+        )
+    finally:
+        engine.backend = previous
+    return len(todo)
 
 
 def fabric_triples(cells: Sequence[CampaignCell]) -> list[tuple[int, int, int]]:
@@ -237,9 +286,10 @@ def run_campaign(
             so the store cannot change any report.
 
     Sharded runs provision before they attack: the unique
-    (lot, die, standard) calibrations the fabric cells need are mapped
-    over the same worker pool first — each die calibrated exactly once
-    campaign-wide, written through the shared store — so the attack
+    (lot, die, standard) calibrations the fabric cells need run as one
+    :func:`provision_fleet` lockstep pass in the parent — each die
+    calibrated exactly once campaign-wide, every search step batched
+    across the lot, bulk-written to the shared store — so the attack
     phase starts from warm calibrations instead of every worker
     recalibrating every die it touches.
     """
@@ -268,14 +318,18 @@ def run_campaign(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
         try:
+            triples = fabric_triples(cells)
+            if triples:
+                # Lockstep fleet provisioning in the parent, before the
+                # pool exists: the threaded kernel absorbs the fused
+                # lot-wide batches, and its per-call worker teams leave
+                # nothing behind that a fork could orphan.
+                provision_fleet(triples, store_path, backend=backend)
             with ctx.Pool(
                 processes=n_workers,
                 initializer=_worker_init,
                 initargs=(backend, store_path),
             ) as pool:
-                triples = fabric_triples(cells)
-                if triples:
-                    pool.map(_provision_triple, triples, chunksize=1)
                 outcomes = pool.map(
                     _timed_cell, [(cell, backend) for cell in cells], chunksize=1
                 )

@@ -49,6 +49,46 @@ def _safe_ratio_db(signal: float, noise: float) -> float:
     return 10.0 * math.log10(signal / noise)
 
 
+# The index sets these metrics combine are contiguous ascending runs
+# (band edges, tone lobes), so the generic sorted-set routines
+# (``intersect1d``/``setdiff1d``/``union1d``) are replaced by run
+# arithmetic producing the *identical* ascending index sequences — same
+# gathered elements in the same order, hence bitwise-identical sums —
+# without the per-call unique/sort machinery, which dominated batched
+# measurement decodes.
+
+
+def _runs_subtract(
+    lo: int, hi: int, excludes: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """``[lo, hi]`` minus sorted disjoint runs, as sorted disjoint runs."""
+    runs: list[tuple[int, int]] = []
+    cursor = lo
+    for e_lo, e_hi in excludes:
+        if e_hi < cursor or e_lo > hi:
+            continue
+        if e_lo > cursor:
+            runs.append((cursor, e_lo - 1))
+        cursor = e_hi + 1
+        if cursor > hi:
+            break
+    if cursor <= hi:
+        runs.append((cursor, hi))
+    return runs
+
+
+def _runs_indices(runs: list[tuple[int, int]]) -> np.ndarray:
+    """Concatenate runs into one ascending index array."""
+    if not runs:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([np.arange(lo, hi + 1) for lo, hi in runs])
+
+
+def _run_of(indices: np.ndarray) -> tuple[int, int]:
+    """Bounds of a non-empty contiguous ascending index run."""
+    return int(indices[0]), int(indices[-1])
+
+
 def band_snr(
     spectrum: Spectrum,
     f_signal: float,
@@ -67,9 +107,18 @@ def band_snr(
     if band.size == 0:
         raise ValueError(f"no spectrum bins in [{f_lo}, {f_hi}] Hz")
     lobe = spectrum.tone_indices(f_signal, search_bins)
-    lobe_in_band = np.intersect1d(lobe, band)
-    signal_power = float(np.sum(spectrum.power[lobe_in_band]))
-    noise_bins = np.setdiff1d(band, lobe_in_band)
+    band_lo, band_hi = _run_of(band)
+    lobe_lo, lobe_hi = _run_of(lobe)
+    in_lo, in_hi = max(band_lo, lobe_lo), min(band_hi, lobe_hi)
+    lobe_in_band = (
+        [(in_lo, in_hi)] if in_lo <= in_hi else []
+    )
+    signal_power = float(
+        np.sum(spectrum.power[_runs_indices(lobe_in_band)])
+    )
+    noise_bins = _runs_indices(
+        _runs_subtract(band_lo, band_hi, lobe_in_band)
+    )
     noise_power = float(np.sum(spectrum.power[noise_bins]))
     peak_freq = float(spectrum.freqs[lobe[np.argmax(spectrum.power[lobe])]])
     return ToneMeasurement(
@@ -132,8 +181,16 @@ def two_tone_sfdr(
     fundamental = max(p1, p2)
 
     band = spectrum.band_indices(f_lo, f_hi)
-    exclude = np.union1d(lobe1, lobe2)
-    spur_bins = np.setdiff1d(band, exclude)
+    if band.size == 0:
+        raise ValueError("band contains only the fundamentals")
+    band_lo, band_hi = _run_of(band)
+    first, second = sorted([_run_of(lobe1), _run_of(lobe2)])
+    if second[0] <= first[1] + 1:  # overlapping/adjacent lobes merge
+        exclude = [(first[0], max(first[1], second[1]))]
+    else:
+        exclude = [first, second]
+    spur_runs = _runs_subtract(band_lo, band_hi, exclude)
+    spur_bins = _runs_indices(spur_runs)
 
     im3_lo = 2.0 * f1 - f2
     im3_hi = 2.0 * f2 - f1
@@ -142,15 +199,23 @@ def two_tone_sfdr(
         if f_lo <= f_im3 <= f_hi:
             # Clip the IM3 lobe against the fundamentals' bins: for
             # closely spaced tones the lobes border each other.
-            idx = np.setdiff1d(spectrum.tone_indices(f_im3, search_bins), exclude)
+            im3_run = _run_of(spectrum.tone_indices(f_im3, search_bins))
+            idx = _runs_indices(_runs_subtract(*im3_run, exclude))
             im3_power = max(im3_power, float(np.sum(spectrum.power[idx])))
     if spur_bins.size == 0:
         raise ValueError("band contains only the fundamentals")
     worst = int(spur_bins[np.argmax(spectrum.power[spur_bins])])
     # Integrate the spur's lobe but never the fundamentals' own bins —
     # a spur adjacent to a fundamental must not swallow its shoulder.
-    lobe_worst = np.intersect1d(
-        spectrum.tone_indices(float(spectrum.freqs[worst]), 0), spur_bins
+    worst_lo, worst_hi = _run_of(
+        spectrum.tone_indices(float(spectrum.freqs[worst]), 0)
+    )
+    lobe_worst = _runs_indices(
+        [
+            (max(run_lo, worst_lo), min(run_hi, worst_hi))
+            for run_lo, run_hi in spur_runs
+            if max(run_lo, worst_lo) <= min(run_hi, worst_hi)
+        ]
     )
     worst_power = float(np.sum(spectrum.power[lobe_worst]))
 

@@ -50,8 +50,17 @@ class Spectrum:
         return self.fs / self.n
 
     def band_indices(self, f_lo: float, f_hi: float) -> np.ndarray:
-        """Indices of bins whose centre lies in ``[f_lo, f_hi]``."""
-        return np.nonzero((self.freqs >= f_lo) & (self.freqs <= f_hi))[0]
+        """Indices of bins whose centre lies in ``[f_lo, f_hi]``.
+
+        The frequency grid is ascending, so the edges are found by
+        bisection; the result is the same contiguous ascending run a
+        mask scan would produce, at O(log n) instead of O(n) — metric
+        decodes run once per measurement, which makes this a hot path
+        for batched sweeps.
+        """
+        lo = int(np.searchsorted(self.freqs, f_lo, side="left"))
+        hi = int(np.searchsorted(self.freqs, f_hi, side="right"))
+        return np.arange(lo, hi)
 
     def band_power(self, f_lo: float, f_hi: float) -> float:
         """Total power (V^2) in the band ``[f_lo, f_hi]``."""
@@ -72,7 +81,22 @@ class Spectrum:
         location to tolerate slight frequency error, then the window's
         main-lobe width is taken around the found peak.
         """
-        nominal = int(np.argmin(np.abs(self.freqs - f_tone)))
+        # Nearest bin by bisection on the ascending grid — identical
+        # (ties included: the lower index wins, as argmin's first-hit
+        # rule would pick) to scanning |freqs - f_tone|, without the
+        # full-array pass.
+        position = int(np.searchsorted(self.freqs, f_tone))
+        if position <= 0:
+            nominal = 0
+        elif position >= self.freqs.size:
+            nominal = self.freqs.size - 1
+        elif (
+            f_tone - self.freqs[position - 1]
+            <= self.freqs[position] - f_tone
+        ):
+            nominal = position - 1
+        else:
+            nominal = position
         lo = max(nominal - search_bins, 0)
         hi = min(nominal + search_bins, self.power.size - 1)
         local = lo + int(np.argmax(self.power[lo : hi + 1]))

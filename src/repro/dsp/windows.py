@@ -40,15 +40,25 @@ _MAIN_LOBE_BINS = {
 }
 
 
+#: Memo of built windows: a window is a pure function of (name, n) and
+#: every spectrum of a sweep re-uses the same few shapes, so designs are
+#: shared (callers only ever multiply by ``samples``, never mutate it).
+_WINDOW_CACHE: dict[tuple[str, int], WindowInfo] = {}
+
+
 def make_window(name: str, n: int) -> WindowInfo:
     """Build window ``name`` of length ``n`` with calibration factors.
 
     Supported names: ``rect``, ``hann``, ``hamming``, ``blackman``,
-    ``blackmanharris``.
+    ``blackmanharris``.  Designs are memoised — same name and length,
+    same (shared, read-only) :class:`WindowInfo`.
     """
     if n <= 0:
         raise ValueError(f"window length must be positive, got {n}")
     name = name.lower()
+    cached = _WINDOW_CACHE.get((name, n))
+    if cached is not None:
+        return cached
     k = np.arange(n)
     if name == "rect":
         w = np.ones(n)
@@ -73,9 +83,12 @@ def make_window(name: str, n: int) -> WindowInfo:
         raise ValueError(f"unknown window {name!r}")
     coherent_gain = float(np.mean(w))
     noise_bandwidth = float(np.sum(w**2) / (np.sum(w) ** 2) * n)
-    return WindowInfo(
+    w.setflags(write=False)  # shared across callers: enforce read-only
+    window = WindowInfo(
         samples=w,
         coherent_gain=coherent_gain,
         noise_bandwidth_bins=noise_bandwidth,
         main_lobe_bins=_MAIN_LOBE_BINS[name],
     )
+    _WINDOW_CACHE[(name, n)] = window
+    return window

@@ -68,11 +68,17 @@ clocked / buffer-mode / oscillation batches.  The invariants live in
 Batching model
 --------------
 
-A batch may mix configurations, stimuli, clocks and seeds freely — keys
-are independent along the batch axis.  Only the *time grid* (record
-length and substeps) must agree, so :meth:`SimulationEngine.run` groups
-requests by ``(n_samples, substeps)`` and integrates each group in one
-pass, returning results in request order.
+A batch may mix configurations, stimuli, clocks, seeds — and *chips*:
+:meth:`SimulationEngine.run_multi` takes ``(chip, request)`` pairs and
+groups them exactly like single-chip requests (every per-key input is
+baked into the :class:`~repro.engine.plan.KeyPlan` before a backend
+sees it, so the key axis is indifferent to which die a request
+probes); :meth:`SimulationEngine.run` is its single-chip special case.
+Only the *time grid* (record length and substeps) must agree, so
+requests group by ``(n_samples, substeps)`` and each group integrates
+in one pass, returning results in request order.  Mixed-chip batching
+is what lets fleet calibration fuse one search step of a whole lot
+into one kernel submission.
 
 Cache semantics
 ---------------
@@ -82,9 +88,14 @@ BoundedCache`), replacing the old unbounded module-global calibration
 cache: calibration results keyed by ``(chip_id, standard_index)``, and
 per-chip ZOH tank discretisations keyed by ``(cc, cf, h)`` (held on the
 :class:`~repro.receiver.receiver.Chip`, since they are chip state like
-its block set).  A third, run-scoped memo shares the sampled RF
-stimulus waveform across the keys of one batch.  All three are
-deterministic value caches — hitting them cannot change any result.
+its block set).  Two further run-scoped memos share the sampled RF
+stimulus waveform and the drawn measurement records (VGLNA output and
+noise/dither draws — pure functions of chip, stimulus, time grid, seed
+and the two input-path config fields) across the keys of one batch; a
+session driver may carry the latter across submissions via
+``run_multi(..., noise_cache=)``, as the fleet calibrator does.  All
+of these are deterministic value caches — hitting them cannot change
+any result.
 ``clear_caches()`` (engine method and module-level hook for the default
 engine) empties the persistent ones for tests and long-running sweeps.
 

@@ -85,20 +85,48 @@ class SimulationEngine:
         back in request order and are identical whichever backend ran
         them.
         """
-        requests = list(requests)
-        results: list[ModulatorResult | None] = [None] * len(requests)
+        return self.run_multi([(chip, request) for request in requests])
+
+    def run_multi(
+        self,
+        items: Sequence[tuple["Chip", ModulatorRequest]],
+        noise_cache: dict | None = None,
+    ) -> list[ModulatorResult]:
+        """Simulate a mixed-chip batch: ``(chip, request)`` pairs.
+
+        The key axis is indifferent to *which* die a request probes —
+        every per-key input (block constants, discretised tank, noise
+        records) is baked into its :class:`~repro.engine.plan.KeyPlan`
+        before the backends see it — so requests of *different* chips
+        group by time grid exactly like requests of one chip, and each
+        result is bit-identical to running its request alone.  This is
+        what lets fleet calibration fuse one bisection level of a whole
+        lot into a single kernel submission.  Each chip's
+        discretisation memo is its own; the sampled-stimulus and
+        drawn-record memos are per submission — or, when a driver runs
+        a *session* of related submissions (a lockstep fleet
+        calibration measures every die under the same few setups,
+        round after round), a caller-held ``noise_cache`` dict carries
+        the drawn records across calls (deterministic values; see the
+        contract in :func:`~repro.engine.plan.build_plan`).  Results
+        come back in item order.
+        """
+        items = list(items)
+        results: list[ModulatorResult | None] = [None] * len(items)
         groups: dict[tuple[int, int], list[int]] = {}
-        for i, request in enumerate(requests):
+        for i, (_, request) in enumerate(items):
             groups.setdefault(request.batch_key, []).append(i)
-        disc_cache = chip.discretisation_cache
         stim_cache: dict = {}
+        if noise_cache is None:
+            noise_cache = {}
         for indices in groups.values():
             plans = [
                 build_plan(
-                    chip.blocks,
-                    requests[i],
-                    disc_cache=disc_cache,
+                    items[i][0].blocks,
+                    items[i][1],
+                    disc_cache=items[i][0].discretisation_cache,
                     stim_cache=stim_cache,
+                    noise_cache=noise_cache,
                 )
                 for i in indices
             ]
@@ -113,7 +141,7 @@ class SimulationEngine:
             for i, out in zip(indices, outs):
                 results[i] = out
             self.stats.n_batches += 1
-        self.stats.n_requests += len(requests)
+        self.stats.n_requests += len(items)
         return results  # type: ignore[return-value]
 
     def run_one(self, chip: "Chip", request: ModulatorRequest) -> ModulatorResult:

@@ -97,6 +97,7 @@ def build_plan(
     request: ModulatorRequest,
     disc_cache: MutableMapping | None = None,
     stim_cache: MutableMapping | None = None,
+    noise_cache: MutableMapping | None = None,
 ) -> KeyPlan:
     """Prepare one key's simulation inputs (exact legacy RNG order).
 
@@ -112,6 +113,20 @@ def build_plan(
             measure many keys under one stimulus, so the engine shares
             the tone evaluation across a batch; sampling is
             deterministic, so caching cannot change results.
+        noise_cache: Optional memo for the drawn record tuple
+            ``(v_lna, i_noise, comp_noise, comp_noise_out, dither)``,
+            keyed by everything those records depend on: the chip's
+            block set, the stimulus/time grid, the measurement seed and
+            the two configuration fields that enter the input path
+            (``lna_gain``; ``dither_en`` gates a draw).  Sweeps measure
+            many keys under one seed and one stimulus — a calibration
+            probe set, a key sweep, a fleet round — and for all of them
+            these records are *the same values*: the RNG stream is a
+            pure function of the seed, and the cached entry is computed
+            by this very code path on its first request, so a hit
+            reuses bitwise-identical arrays (backends treat plan
+            records as read-only).  Sharing cannot change results, it
+            only removes redundant draws and VGLNA evaluations.
     """
     config = request.config
     n_samples = request.n_samples
@@ -120,7 +135,6 @@ def build_plan(
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     if substeps < 2:
         raise ValueError(f"need at least 2 substeps, got {substeps}")
-    rng = np.random.default_rng(request.seed)
     fs = request.fs
     h = 1.0 / (fs * substeps)
 
@@ -134,24 +148,59 @@ def build_plan(
 
     bias_scale = 1.0 + (config.bias_global - 4) * blocks.bias_global_step
 
-    # Input path, fully vectorised: RF tones -> VGLNA -> Gmin current.
-    stim_key = (request.stimulus, fs, n_samples, substeps)
-    if stim_cache is not None and stim_key in stim_cache:
-        v_rf = stim_cache[stim_key]
-    else:
-        t = np.arange(n_samples * substeps) * h
-        v_rf = request.stimulus.sample(t)
-        if stim_cache is not None:
-            stim_cache[stim_key] = v_rf
-    v_lna = blocks.vglna.process(
-        v_rf, config.lna_gain, bandwidth=0.5 / h, rng=rng
+    noise_key = (
+        id(blocks),
+        request.stimulus,
+        fs,
+        n_samples,
+        substeps,
+        request.seed,
+        config.lna_gain,
+        config.dither_en,
     )
+    # The cached value carries the blocks object alongside the records:
+    # the key leads with id(blocks), and holding the reference pins the
+    # object so a session-held cache can never serve a stale entry to a
+    # new die that recycled a garbage-collected blocks' id.
+    cached = noise_cache.get(noise_key) if noise_cache is not None else None
+    if cached is not None and cached[0] is blocks:
+        _, v_lna, i_noise, comp_noise, comp_noise_out, dither = cached
+    else:
+        rng = np.random.default_rng(request.seed)
+        # Input path, fully vectorised: RF tones -> VGLNA.
+        stim_key = (request.stimulus, fs, n_samples, substeps)
+        if stim_cache is not None and stim_key in stim_cache:
+            v_rf = stim_cache[stim_key]
+        else:
+            t = np.arange(n_samples * substeps) * h
+            v_rf = request.stimulus.sample(t)
+            if stim_cache is not None:
+                stim_cache[stim_key] = v_rf
+        v_lna = blocks.vglna.process(
+            v_rf, config.lna_gain, bandwidth=0.5 / h, rng=rng
+        )
+        # Tank current noise, piecewise constant per substep.
+        sigma_i = blocks.tank_current_noise * math.sqrt(0.5 / h)
+        i_noise = rng.normal(0.0, sigma_i, v_lna.shape)
+        comp_noise = rng.normal(0.0, 1.0, n_samples)
+        comp_noise_out = rng.normal(0.0, 1.0, n_samples)
+        dither = (
+            blocks.dither_amplitude * rng.uniform(-1.0, 1.0, n_samples)
+            if config.dither_en
+            else np.zeros(n_samples)
+        )
+        if noise_cache is not None:
+            noise_cache[noise_key] = (
+                blocks,
+                v_lna,
+                i_noise,
+                comp_noise,
+                comp_noise_out,
+                dither,
+            )
     i_sig = blocks.gmin.output_current(
         v_lna, config.gmin_code, enabled=bool(config.gmin_en), bias_scale=bias_scale
     )
-    # Tank current noise, piecewise constant per substep.
-    sigma_i = blocks.tank_current_noise * math.sqrt(0.5 / h)
-    i_noise = rng.normal(0.0, sigma_i, i_sig.shape)
     i_in = i_sig + i_noise
 
     feedback_on = bool(config.fb_en) and bool(config.dac_en)
@@ -162,13 +211,6 @@ def build_plan(
     # In normal mode the DAC drive is +/-1: precompute the switched current.
     i_dac_unit = blocks.dac.output_current(
         1.0, config.dac_code, enabled=feedback_on, bias_scale=bias_scale
-    )
-    comp_noise = rng.normal(0.0, 1.0, n_samples)
-    comp_noise_out = rng.normal(0.0, 1.0, n_samples)
-    dither = (
-        blocks.dither_amplitude * rng.uniform(-1.0, 1.0, n_samples)
-        if config.dither_en
-        else np.zeros(n_samples)
     )
 
     gmq_gm = blocks.tank.gmq(config.gmq_code)

@@ -35,7 +35,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
+from typing import Iterable, Sequence
 
 #: Name of the per-store compute audit log.
 EVENTS_FILE = "events.log"
@@ -46,15 +48,29 @@ class CalibrationStore:
 
     Args:
         path: Store directory; created (parents included) when missing.
+        lock_timeout: How long :meth:`get_or_set` waits on another
+            process's in-flight compute of the same key before treating
+            its lock as stale (crashed holder) and computing anyway.
+        poll_interval: Seconds between lock polls while waiting.
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        lock_timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ):
         self.path = Path(path)
+        self.lock_timeout = lock_timeout
+        self.poll_interval = poll_interval
         self.path.mkdir(parents=True, exist_ok=True)
 
     def _entry(self, key: tuple) -> Path:
         digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
         return self.path / f"cal-{digest}.pkl"
+
+    def _lock(self, key: tuple) -> Path:
+        return self._entry(key).with_suffix(".lock")
 
     def get(self, key: tuple):
         """The stored value for ``key``, or None on any kind of miss."""
@@ -67,8 +83,7 @@ class CalibrationStore:
             return None  # digest collision: miss, never the wrong die
         return value
 
-    def put(self, key: tuple, value) -> None:
-        """Atomically store ``value`` under ``key`` and log the compute."""
+    def _write_entry(self, key: tuple, value) -> None:
         entry = self._entry(key)
         fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=str(self.path))
         try:
@@ -81,22 +96,104 @@ class CalibrationStore:
             except OSError:
                 pass
             raise
-        line = f"{os.getpid()} {key!r}\n".encode()
+
+    def _event_line(self, key: tuple, event: str = "") -> bytes:
+        tag = f" {event}" if event else ""
+        return f"{os.getpid()} {key!r}{tag}\n".encode()
+
+    def _append_events(self, data: bytes) -> None:
         log_fd = os.open(
             self.path / EVENTS_FILE, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         try:
-            os.write(log_fd, line)
+            os.write(log_fd, data)
         finally:
             os.close(log_fd)
 
+    def put(self, key: tuple, value, event: str = "") -> None:
+        """Atomically store ``value`` under ``key`` and log the compute,
+        optionally tagging the audit line (e.g. ``"fleet"`` for lockstep
+        provisioning computes)."""
+        self._write_entry(key, value)
+        self._append_events(self._event_line(key, event))
+
+    def get_many(self, keys: Sequence[tuple]) -> list:
+        """Bulk read: the stored value per key, None per miss."""
+        return [self.get(key) for key in keys]
+
+    def put_many(self, items: Iterable[tuple[tuple, object]], event: str = "") -> None:
+        """Atomically store many entries, logging one audit line each.
+
+        All the lines of one bulk write are appended in a single
+        ``O_APPEND`` write, so a fleet provisioning shows up in
+        ``events.log`` as one contiguous block — tagged with ``event``
+        (e.g. ``"fleet"``) so audits can tell lockstep computes from
+        per-die ones.  Line count semantics are unchanged: one line per
+        value computed into the store.
+        """
+        items = list(items)
+        for key, value in items:
+            self._write_entry(key, value)
+        if items:
+            self._append_events(
+                b"".join(self._event_line(key, event) for key, _ in items)
+            )
+
     def get_or_set(self, key: tuple, factory):
-        """Read-through helper: store hit, else compute and store."""
+        """Read-through helper: store hit, else compute and store.
+
+        Concurrent callers of the same key race *cleanly*: a per-key
+        lock file (``O_CREAT | O_EXCL``, the portable atomic create)
+        elects one process to run ``factory`` while the others poll for
+        its entry — one compute in the audit log, every caller handed
+        the identical pickle.  A lock file older than ``lock_timeout``
+        is treated as a crashed holder's debris: the waiter unlinks it
+        and contends for a fresh lock of its own (duplicate work at
+        worst, never a deadlock or a wrong value — entries are atomic
+        and deterministic — and staleness is the *lock's* age, so
+        late-arriving waiters don't each re-wait a full timeout).  A
+        ``factory`` that raises releases the lock so waiters can take
+        over.
+        """
         value = self.get(key)
-        if value is None:
-            value = factory()
-            self.put(key, value)
-        return value
+        if value is not None:
+            return value
+        lock = self._lock(key)
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(lock).st_mtime
+                except OSError:
+                    continue  # lock vanished under us: contend again
+                if age > self.lock_timeout:
+                    # Crashed holder: clear the debris and contend for
+                    # a fresh lock (one unlinker wins the O_EXCL race).
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(self.poll_interval)
+                value = self.get(key)
+                if value is not None:
+                    return value
+                continue
+            os.close(fd)
+            try:
+                # Lock won; the previous holder may have finished the
+                # compute between our miss and our acquisition.
+                value = self.get(key)
+                if value is None:
+                    value = factory()
+                    self.put(key, value)
+                return value
+            finally:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("cal-*.pkl"))
@@ -110,7 +207,13 @@ class CalibrationStore:
         return [line for line in text.splitlines() if line]
 
     def clear(self) -> None:
-        """Drop every entry and the audit log (``clear_caches`` hook)."""
+        """Drop every entry, stray lock and the audit log
+        (``clear_caches`` hook)."""
+        for lock in self.path.glob("cal-*.lock"):
+            try:
+                lock.unlink()
+            except OSError:
+                pass
         for entry in self.path.glob("cal-*.pkl"):
             try:
                 entry.unlink()

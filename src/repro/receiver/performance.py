@@ -83,6 +83,54 @@ def measure_modulator_snr(
     return band_snr(spectrum, f_sig, f_lo, f_hi)
 
 
+def modulator_snr_probe(
+    chip: Chip,
+    configs: Sequence[ConfigWord],
+    standard: Standard,
+    power_dbm: float = DEFAULT_POWER_DBM,
+    n_fft: int | None = None,
+    seed: int = 0,
+    substeps: int = 4,
+):
+    """Requests + decoder for a batched modulator-SNR measurement.
+
+    Splits :func:`measure_modulator_snr_batch` into its engine requests
+    and the pure post-processing that turns their results into
+    :class:`ToneMeasurement`\\ s, so drivers that fuse many measurement
+    kinds (the fleet calibrator batches SNR, SFDR and oscillation
+    probes of a whole lot into one engine submission) build *exactly*
+    the requests and decode *exactly* the arithmetic the batch function
+    uses.  Returns ``(requests, decode)``.
+    """
+    from repro.engine.request import ModulatorRequest
+
+    n = n_fft or chip.design.fft_points
+    f_sig = stimulus_frequency(standard, chip.design.osr, n)
+    stim = ToneStimulus.single(f_sig, power_dbm)
+    requests = [
+        ModulatorRequest(
+            config=config,
+            stimulus=stim,
+            fs=standard.fs,
+            n_samples=n,
+            seed=seed,
+            substeps=substeps,
+        )
+        for config in configs
+    ]
+    f_lo, f_hi = signal_band(standard, chip.design.osr)
+
+    def decode(results) -> list[ToneMeasurement]:
+        if not results:
+            return []
+        spectra = periodogram_batch(
+            np.stack([r.output for r in results]), standard.fs
+        )
+        return [band_snr(s, f_sig, f_lo, f_hi) for s in spectra]
+
+    return requests, decode
+
+
 def measure_modulator_snr_batch(
     chip: Chip,
     configs: Sequence[ConfigWord],
@@ -100,31 +148,18 @@ def measure_modulator_snr_batch(
     identical to the scalar function (the backends are bit-exact).
     """
     from repro.engine.engine import get_default_engine
-    from repro.engine.request import ModulatorRequest
 
     engine = engine or get_default_engine()
-    n = n_fft or chip.design.fft_points
-    f_sig = stimulus_frequency(standard, chip.design.osr, n)
-    stim = ToneStimulus.single(f_sig, power_dbm)
-    requests = [
-        ModulatorRequest(
-            config=config,
-            stimulus=stim,
-            fs=standard.fs,
-            n_samples=n,
-            seed=seed,
-            substeps=substeps,
-        )
-        for config in configs
-    ]
-    results = engine.run(chip, requests)
-    f_lo, f_hi = signal_band(standard, chip.design.osr)
-    if not results:
-        return []
-    spectra = periodogram_batch(
-        np.stack([r.output for r in results]), standard.fs
+    requests, decode = modulator_snr_probe(
+        chip,
+        configs,
+        standard,
+        power_dbm=power_dbm,
+        n_fft=n_fft,
+        seed=seed,
+        substeps=substeps,
     )
-    return [band_snr(s, f_sig, f_lo, f_hi) for s in spectra]
+    return decode(engine.run(chip, requests))
 
 
 def measure_receiver_snr_batch(
@@ -168,7 +203,7 @@ def measure_receiver_snr_batch(
     return [band_snr(s, f_tone_bb, -half, half) for s in spectra]
 
 
-def measure_sfdr_batch(
+def modulator_sfdr_probe(
     chip: Chip,
     configs: Sequence[ConfigWord],
     standard: Standard,
@@ -177,13 +212,12 @@ def measure_sfdr_batch(
     n_fft: int | None = None,
     seed: int = 0,
     substeps: int = 4,
-    engine: SimulationEngine | None = None,
-) -> list[SfdrMeasurement]:
-    """Batched :func:`measure_sfdr` over many keys."""
-    from repro.engine.engine import get_default_engine
+):
+    """Requests + decoder for a batched SFDR measurement; the SFDR
+    counterpart of :func:`modulator_snr_probe`.  Returns
+    ``(requests, decode)``."""
     from repro.engine.request import ModulatorRequest
 
-    engine = engine or get_default_engine()
     n = n_fft or chip.design.fft_points
     osr = chip.design.osr
     half = standard.fs / (4.0 * osr)
@@ -201,16 +235,47 @@ def measure_sfdr_batch(
         )
         for config in configs
     ]
-    results = engine.run(chip, requests)
     f_lo, f_hi = signal_band(standard, osr)
-    if not results:
-        return []
-    spectra = periodogram_batch(
-        np.stack([r.output for r in results]), standard.fs
+
+    def decode(results) -> list[SfdrMeasurement]:
+        if not results:
+            return []
+        spectra = periodogram_batch(
+            np.stack([r.output for r in results]), standard.fs
+        )
+        return [
+            two_tone_sfdr(s, f1, f2, f_lo, f_hi, search_bins=1) for s in spectra
+        ]
+
+    return requests, decode
+
+
+def measure_sfdr_batch(
+    chip: Chip,
+    configs: Sequence[ConfigWord],
+    standard: Standard,
+    power_dbm_each: float = SFDR_POWER_DBM,
+    delta_hz: float = SFDR_DELTA_HZ,
+    n_fft: int | None = None,
+    seed: int = 0,
+    substeps: int = 4,
+    engine: SimulationEngine | None = None,
+) -> list[SfdrMeasurement]:
+    """Batched :func:`measure_sfdr` over many keys."""
+    from repro.engine.engine import get_default_engine
+
+    engine = engine or get_default_engine()
+    requests, decode = modulator_sfdr_probe(
+        chip,
+        configs,
+        standard,
+        power_dbm_each=power_dbm_each,
+        delta_hz=delta_hz,
+        n_fft=n_fft,
+        seed=seed,
+        substeps=substeps,
     )
-    return [
-        two_tone_sfdr(s, f1, f2, f_lo, f_hi, search_bins=1) for s in spectra
-    ]
+    return decode(engine.run(chip, requests))
 
 
 def modulator_output_spectrum(

@@ -147,6 +147,35 @@ class Chip:
         )
         return get_default_engine().run_receiver_one(self, request)
 
+    def oscillation_request(
+        self,
+        config: ConfigWord,
+        fs: float,
+        n_samples: int = 4096,
+        gmq_code: int | None = None,
+        seed: int = 0,
+        substeps: int = 4,
+    ):
+        """The engine request :meth:`simulate_oscillation` submits.
+
+        Exposed so batch drivers (the fleet calibrator groups one
+        bisection level of a whole lot into a single engine submission)
+        issue *exactly* the request the scalar measurement would — same
+        oscillation-mode configuration, same kick, same record length —
+        which is what makes regrouped runs bit-identical.
+        """
+        from repro.engine.request import ModulatorRequest
+
+        return ModulatorRequest(
+            config=oscillation_config(config, gmq_code),
+            stimulus=ToneStimulus.off(),
+            fs=fs,
+            n_samples=n_samples,
+            seed=seed,
+            substeps=substeps,
+            initial_state=(1e-3, 0.0),
+        )
+
     def simulate_oscillation(
         self,
         config: ConfigWord,
@@ -162,13 +191,16 @@ class Chip:
         and the -Gm set to ``gmq_code`` (maximum by default); a small
         initial kick starts the oscillation.
         """
-        osc = oscillation_config(config, gmq_code)
-        return self.simulate_modulator(
-            osc,
-            ToneStimulus.off(),
-            fs,
-            n_samples=n_samples,
-            seed=seed,
-            substeps=substeps,
-            initial_state=(1e-3, 0.0),
+        from repro.engine.engine import get_default_engine
+
+        return get_default_engine().run_one(
+            self,
+            self.oscillation_request(
+                config,
+                fs,
+                n_samples=n_samples,
+                gmq_code=gmq_code,
+                seed=seed,
+                substeps=substeps,
+            ),
         )

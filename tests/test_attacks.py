@@ -91,6 +91,68 @@ class TestOracle:
         assert not oracle.unlocks(ConfigWord.random(rng))
 
 
+class TestFleetBatchMetering:
+    """Metering at fleet-batch boundaries: a fleet round that charges a
+    whole lot at once must refuse at exactly the query count where
+    per-die charging refuses, with meters un-advanced either way."""
+
+    def _oracle(self, hero_chip, ref_standard, max_queries):
+        return MeasurementOracle(
+            chip=hero_chip,
+            standard=ref_standard,
+            n_fft=1024,
+            max_queries=max_queries,
+        )
+
+    @pytest.mark.parametrize("fleet_size", [2, 5])
+    def test_budget_boundary_identical_per_die_vs_fleet(
+        self, hero_chip, ref_standard, fleet_size
+    ):
+        # Two full fleet rounds fit; the third round's first
+        # measurement is the first over-budget one either way.
+        budget = 2 * fleet_size
+        per_die = self._oracle(hero_chip, ref_standard, budget)
+        fleet = self._oracle(hero_chip, ref_standard, budget)
+        seconds = per_die.cost_model.snr_seconds
+
+        rounds_per_die = 0
+        try:
+            while True:
+                for _ in range(fleet_size):  # one charge per die
+                    per_die.charge_batch(1, seconds)
+                rounds_per_die += 1
+        except QueryBudgetExceeded:
+            pass
+
+        rounds_fleet = 0
+        try:
+            while True:
+                fleet.charge_batch(fleet_size, seconds)  # one fleet charge
+                rounds_fleet += 1
+        except QueryBudgetExceeded:
+            pass
+
+        # Same refusal round, same meters after refusal: the refused
+        # fleet chunk charged nothing, the refused per-die measurement
+        # charged nothing, and everything before them was identical.
+        assert rounds_fleet == rounds_per_die == 2
+        assert per_die.n_queries == fleet.n_queries == budget
+        assert per_die.elapsed_seconds == fleet.elapsed_seconds
+        assert per_die.remaining_queries() == fleet.remaining_queries() == 0
+
+    def test_overrun_leaves_meters_unadvanced(self, hero_chip, ref_standard):
+        oracle = self._oracle(hero_chip, ref_standard, max_queries=7)
+        seconds = oracle.cost_model.snr_seconds
+        oracle.charge_batch(5, seconds)
+        with pytest.raises(QueryBudgetExceeded):
+            oracle.charge_batch(3, seconds)  # 5 + 3 > 7: refuse atomically
+        assert oracle.n_queries == 5
+        assert oracle.elapsed_seconds == 5 * seconds
+        # The remaining budget is still spendable after the refusal.
+        oracle.charge_batch(2, seconds)
+        assert oracle.n_queries == 7
+
+
 class TestBruteForce:
     def test_campaign_fails_within_budget(self, hero_chip, ref_standard):
         oracle = MeasurementOracle(chip=hero_chip, standard=ref_standard, n_fft=2048)

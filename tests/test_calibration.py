@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.calibration import (
+    CalibrationFailed,
     Calibrator,
     NOMINAL_DELAY_CODE,
     coordinate_descent,
     is_oscillating,
+    metering,
     oscillation_frequency,
     segment_gain_plan,
     vglna_gain_plan,
@@ -180,6 +182,51 @@ class TestSpeculativeBatchedDescent:
 
         coordinate_descent(objective, ConfigWord(), fields=(("lna_gain", 4),))
         assert len(calls) == len(set(calls))  # memoised, probe-for-probe
+
+
+class TestDeadDie:
+    """A die whose tank dies mid-bisection fails loudly and typed."""
+
+    def test_calibrate_raises_with_log_and_die(
+        self, hero_chip, ref_standard, monkeypatch
+    ):
+        real = oscillation_frequency
+        calls = []
+
+        def dies_mid_bisection(samples, fs):
+            calls.append(1)
+            if len(calls) > 4:  # a few healthy readings, then silence
+                return None
+            return real(samples, fs)
+
+        monkeypatch.setattr(
+            metering, "oscillation_frequency", dies_mid_bisection
+        )
+        with pytest.raises(CalibrationFailed) as excinfo:
+            Calibrator(n_fft=1024, optimizer_passes=1, sfdr_weight=0.0).calibrate(
+                hero_chip, ref_standard
+            )
+        failure = excinfo.value
+        assert isinstance(failure, RuntimeError)  # old catchers still work
+        assert failure.step == 6
+        assert failure.chip_id == hero_chip.chip_id
+        # The completed steps ride the exception for lot triage.
+        assert [entry.step for entry in failure.log] == [1, 2, 3, 4, 5]
+        assert "failed to oscillate" in str(failure)
+
+    def test_step_method_raises_typed_failure(
+        self, hero_chip, ref_standard, monkeypatch
+    ):
+        from repro.receiver import ConfigWord
+
+        monkeypatch.setattr(
+            metering, "oscillation_frequency", lambda samples, fs: None
+        )
+        with pytest.raises(CalibrationFailed) as excinfo:
+            Calibrator().tune_capacitor_arrays(
+                hero_chip, ConfigWord(), ref_standard
+            )
+        assert excinfo.value.step == 6
 
 
 class TestBatchedCalibrator:

@@ -1,5 +1,10 @@
 """Batched simulation engine: backend bit-exactness, batching/grouping,
-engine-owned caches, request validation and the runner registry."""
+mixed-chip batches, engine-owned caches (the cross-process store and
+its concurrency semantics included), request validation and the runner
+registry."""
+
+import multiprocessing
+import time
 
 import numpy as np
 import pytest
@@ -415,6 +420,15 @@ class TestCalibrationStore:
         assert len(store) == 0
         assert store.compute_events() == []
 
+    def test_put_many_bulk_write_with_tagged_audit(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.put_many([((1,), "a"), ((2,), "b")], event="fleet")
+        assert store.get((1,)) == "a"
+        assert store.get((2,)) == "b"
+        events = store.compute_events()
+        assert len(events) == 2
+        assert all(event.endswith(" fleet") for event in events)
+
     def test_engine_reads_through_store(self, tmp_path, chip):
         store_path = tmp_path / "shared"
         calls = []
@@ -439,4 +453,170 @@ class TestCalibrationStore:
         assert len(engine.calibration_store) == 1
         engine.clear_caches()
         assert len(engine.calibration_store) == 0
+
+
+class TestMixedChipBatches:
+    """run_multi: requests of different dies fuse into one batch."""
+
+    def _chips(self):
+        from repro.process import ChipFactory
+
+        fab = ChipFactory(lot_seed=2020)
+        return [Chip(variations=fab.draw(die)) for die in range(3)]
+
+    def test_run_multi_matches_per_chip_runs(self, rng):
+        chips = self._chips()
+        engine = SimulationEngine()
+        per_chip = {
+            id(chip): [
+                ModulatorRequest(
+                    config=config, stimulus=_stim(), fs=STD.fs, n_samples=N,
+                    seed=seed,
+                )
+                for seed, config in enumerate(
+                    [ConfigWord.random(rng), ConfigWord.random(rng)]
+                )
+            ]
+            for chip in chips
+        }
+        # Interleave the dies' requests, round-robin.
+        items = [
+            (chip, per_chip[id(chip)][position])
+            for position in range(2)
+            for chip in chips
+        ]
+        fused = engine.run_multi(items)
+        assert engine.stats.n_batches == 1  # one time grid -> one batch
+        for die, chip in enumerate(chips):
+            alone = SimulationEngine().run(chip, per_chip[id(chip)])
+            for position in range(2):
+                fused_result = fused[position * len(chips) + die]
+                np.testing.assert_array_equal(
+                    fused_result.output, alone[position].output
+                )
+                np.testing.assert_array_equal(
+                    fused_result.bits, alone[position].bits
+                )
+
+    def test_run_multi_mixed_time_grids(self, rng):
+        chips = self._chips()[:2]
+        engine = SimulationEngine()
+        items = [
+            (chips[0], ModulatorRequest(
+                config=ConfigWord.random(rng), stimulus=_stim(), fs=STD.fs,
+                n_samples=N,
+            )),
+            (chips[1], ModulatorRequest(
+                config=ConfigWord.random(rng), stimulus=_stim(), fs=STD.fs,
+                n_samples=N // 2,
+            )),
+            (chips[1], ModulatorRequest(
+                config=ConfigWord.random(rng), stimulus=_stim(), fs=STD.fs,
+                n_samples=N,
+            )),
+        ]
+        results = engine.run_multi(items)
+        assert engine.stats.n_batches == 2  # grouped by (n_samples, substeps)
+        assert [r.output.size for r in results] == [N, N // 2, N]
+        for (chip, request), fused in zip(items, results):
+            alone = SimulationEngine().run_one(chip, request)
+            np.testing.assert_array_equal(fused.output, alone.output)
+
+    def test_run_is_single_chip_run_multi(self, chip, rng):
+        requests = [
+            ModulatorRequest(
+                config=ConfigWord.random(rng), stimulus=_stim(), fs=STD.fs,
+                n_samples=N,
+            )
+            for _ in range(3)
+        ]
+        via_run = SimulationEngine().run(chip, requests)
+        via_multi = SimulationEngine().run_multi(
+            [(chip, request) for request in requests]
+        )
+        for a, b in zip(via_run, via_multi):
+            np.testing.assert_array_equal(a.output, b.output)
+
+
+def _race_factory():
+    # Slow enough that both racers are inside get_or_set together.
+    time.sleep(0.4)
+    return {"value": "deterministic-calibration"}
+
+
+def _race_worker(path, barrier, queue):
+    store = CalibrationStore(path, poll_interval=0.01)
+    barrier.wait()
+    queue.put(store.get_or_set((2020, 7, 0), _race_factory))
+
+
+class TestCalibrationStoreConcurrency:
+    """Two processes provisioning the same triple race cleanly."""
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork to run the race without import gymnastics",
+    )
+    def test_same_triple_race_computes_once(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_race_worker, args=(str(tmp_path), barrier, queue)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        values = [queue.get(timeout=30) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=30)
+        # Both racers got the identical value...
+        assert values[0] == values[1] == {"value": "deterministic-calibration"}
+        store = CalibrationStore(tmp_path)
+        assert values[0] == store.get((2020, 7, 0))
+        # ...from ONE compute: the loser waited on the winner's lock.
+        assert len(store.compute_events()) == 1
+        assert len(store) == 1
+        # No lock debris survives the race.
+        assert list(store.path.glob("cal-*.lock")) == []
+
+    def test_truncated_entry_recomputed_not_crashed(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.put((5, 5, 5), {"snr": 60.0, "payload": list(range(64))})
+        entry = next(store.path.glob("cal-*.pkl"))
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return {"snr": 60.0, "payload": list(range(64))}
+
+        value = store.get_or_set((5, 5, 5), factory)
+        assert value == {"snr": 60.0, "payload": list(range(64))}
+        assert calls == [1]  # recomputed, quietly, exactly once
+        # The recompute repaired the entry for later readers.
+        assert CalibrationStore(tmp_path).get((5, 5, 5)) == value
+
+    def test_stale_lock_never_deadlocks(self, tmp_path):
+        store = CalibrationStore(tmp_path, lock_timeout=0.2, poll_interval=0.01)
+        key = (1, 2, 3)
+        store._lock(key).touch()  # a crashed holder's leftover
+        assert store.get_or_set(key, lambda: "computed") == "computed"
+        # The takeover removed the debris: the next miss on this key
+        # (entry corrupted or deleted) must not wait the timeout again.
+        assert not store._lock(key).exists()
+
+    def test_failing_factory_releases_the_lock(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        key = (4, 4, 4)
+        with pytest.raises(ValueError):
+            store.get_or_set(key, self._boom)
+        assert list(store.path.glob("cal-*.lock")) == []
+        assert store.get_or_set(key, lambda: "second-try") == "second-try"
+
+    @staticmethod
+    def _boom():
+        raise ValueError("factory failed")
 
