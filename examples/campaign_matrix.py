@@ -1,19 +1,25 @@
-"""Full attack x defense x standard sweep through one run_campaign call.
+"""Full attack x defense x standard sweep through the foundry service.
 
 Expands every registered attack against the proposed fabric lock and
-three baseline schemes, executes the campaign (optionally sharded
-across worker processes and/or over a fleet of distinct dies), prints
-the outcome matrix and can write the machine-readable JSON artefact.
+three baseline schemes, submits the campaign as one service job
+(optionally across worker processes and/or over a fleet of distinct
+dies), streams per-cell progress as the work-stealing scheduler
+completes tasks, prints the outcome matrix and can write the
+machine-readable JSON artefact.  With ``--journal DIR`` the campaign
+is resumable: kill it mid-run and re-run the same command — finished
+cells replay from the journal instead of re-executing.
 
 Run:  python examples/campaign_matrix.py
       python examples/campaign_matrix.py --workers 4 --chips 0 1 2 3
+      python examples/campaign_matrix.py --workers 2 --journal /tmp/camp
       python examples/campaign_matrix.py --json campaign.json
 """
 
 import argparse
 
 from repro.attacks.cost import format_years
-from repro.campaigns import ThreatScenario, expand_matrix, run_campaign
+from repro.campaigns import ThreatScenario, expand_matrix
+from repro.service import CampaignJob, FoundryService
 
 SECONDS_PER_YEAR = 365.25 * 86400
 
@@ -50,6 +56,9 @@ def main(argv=None) -> None:
     )
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the JSON campaign artefact here")
+    parser.add_argument("--journal", default=None, metavar="DIR",
+                        help="resumable job journal (finished cells survive "
+                             "a kill; re-run the same command to resume)")
     args = parser.parse_args(argv)
 
     cells = expand_matrix(
@@ -62,7 +71,29 @@ def main(argv=None) -> None:
     print(f"campaign: {len(ATTACKS)} attacks x {len(SCHEMES)} schemes x "
           f"{len(args.standards)} standard(s) x {len(args.chips)} chip(s) "
           f"= {len(cells)} cells, {args.workers} worker(s)\n")
-    campaign = run_campaign(cells, n_workers=args.workers, json_path=args.json)
+
+    handle = FoundryService().submit(
+        CampaignJob(cells=tuple(cells), n_workers=args.workers,
+                    journal=args.journal)
+    )
+    done = 0
+    for event in handle.stream():
+        if event.kind in ("cell", "replay"):
+            done += 1
+            tag = " (journal)" if event.kind == "replay" else ""
+            print(f"[{done:3d}/{len(cells)}] {event.label}{tag} "
+                  f"({event.seconds:.2f} s)")
+        else:
+            print(f"[provision] {event.label} ({event.seconds:.2f} s)")
+    campaign = handle.result()
+    print()
+    if args.json:
+        from repro.campaigns.serialization import (
+            campaign_result_to_dict,
+            dump_json,
+        )
+
+        dump_json(args.json, campaign_result_to_dict(campaign, cells=cells))
 
     header = f"{'attack':12s} {'target':18s} {'std':>3s} {'chip':>4s}  {'outcome':8s} {'queries':>7s}  {'lab time':>10s}"
     print(header)

@@ -14,7 +14,11 @@ The package implements, in pure Python:
   oracle-guided SAT) and six prior-work baseline locking schemes,
 * a unified attack-campaign API (:mod:`repro.campaigns`): one
   ``Attack.execute(scenario) -> AttackReport`` protocol, declarative
-  threat-scenario matrices and chip-fleet process sharding, and
+  threat-scenario matrices and chip-fleet process sharding,
+* a job-oriented execution service (:mod:`repro.service`): campaigns,
+  provisioning passes and experiment runs submitted through one
+  ``FoundryService.submit(job) -> JobHandle`` API with streaming
+  results, a work-stealing scheduler and resumable job journals, and
 * experiment drivers regenerating every figure/analysis of the paper.
 
 Start with :mod:`repro.locking` and ``examples/quickstart.py``.

@@ -17,15 +17,19 @@ sweep a first-class operation:
   model, query budget and seeds;
 * :func:`~repro.campaigns.campaign.expand_matrix` /
   :func:`~repro.campaigns.campaign.run_campaign` — grid expansion over
-  attack x scheme x standard x chip-fleet axes and execution, either
-  in-process or sharded across worker processes (one private engine
-  per worker, bit-identical reports), with machine-readable JSON
-  artefacts via :mod:`repro.campaigns.serialization`.  Sharded runs
-  share one cross-process :class:`~repro.engine.store.
-  CalibrationStore` and pre-provision the calibrations the attack
-  adapters declare (:meth:`~repro.campaigns.attacks.Attack.
-  provisioning_triples`) over the pool, so a fleet calibrates each die
-  once campaign-wide instead of once per worker.
+  attack x scheme x standard x chip-fleet axes and execution through
+  the foundry service (:mod:`repro.service`), either in-process or
+  pulled through the work-stealing scheduler across worker processes
+  (one private engine per worker, bit-identical reports), with
+  machine-readable JSON artefacts via
+  :mod:`repro.campaigns.serialization`.  Sharded runs share one
+  cross-process :class:`~repro.engine.store.CalibrationStore`; the
+  calibrations the attack adapters declare
+  (:meth:`~repro.campaigns.attacks.Attack.provisioning_triples`) run
+  as first-class scheduler tasks gating exactly the cells that need
+  them, so a fleet calibrates each die once campaign-wide and
+  early-calibrated dies attack while stragglers calibrate.  Naming a
+  ``journal`` directory makes a campaign resumable after a kill.
 
 The experiment drivers (``security_optimization``, ``security_sat``,
 ``table_baselines``, ``table_attack_cost``) and the example studies all
@@ -48,6 +52,7 @@ from repro.campaigns.attacks import (
 from repro.campaigns.campaign import (
     CampaignCell,
     CampaignResult,
+    cell_triples,
     expand_matrix,
     fabric_triples,
     provision_fleet,
@@ -91,6 +96,7 @@ __all__ = [
     "Transfer",
     "attack_report_to_dict",
     "campaign_result_to_dict",
+    "cell_triples",
     "dump_json",
     "expand_matrix",
     "fabric_triples",

@@ -1,25 +1,26 @@
-"""Campaign execution: grid expansion and chip-fleet process sharding.
+"""Campaign execution: grid expansion and the service thin client.
 
 ``run_campaign`` takes a list of independent cells (attack name +
 parameters + :class:`~repro.campaigns.scenario.ThreatScenario`),
 executes each and returns the reports in cell order.  Cells are
 independent by construction — every cell rebuilds its chip from the
 scenario's :class:`ChipSpec` and seeds its own RNGs — so with
-``n_workers > 1`` they shard across worker processes: each worker owns
-a private simulation engine (caches and stats included) and reports
-come back deterministic and identical to a sequential run.
+``n_workers > 1`` they become tasks on the foundry service's
+work-stealing scheduler (:mod:`repro.service`): workers pull cells off
+a shared queue as they free up, die calibrations run as first-class
+tasks that unblock their gated attack cells the moment they land, and
+reports come back deterministic and bit-identical to a sequential run
+whatever the worker count, backend or scheduler mode.
 
-Sharded campaigns share one cross-process
-:class:`~repro.engine.store.CalibrationStore` and run in two phases:
-the unique (lot, die, standard) calibrations the fabric cells need are
-fleet-calibrated first — one lockstep
-:meth:`~repro.calibration.fleet.FleetCalibrator.calibrate_fleet` pass
-in the parent process, every bisection level batched across the whole
-lot onto the engine's threaded key axis — and written to the store in
-bulk, then the attack cells execute against the warm store.  Fleet
-results are bit-identical to per-die calibration and calibration
-results are deterministic values, so neither the store nor the phase
-split can change any report — only who pays for the compute.
+Workers share one cross-process
+:class:`~repro.engine.store.CalibrationStore`; each (lot, die,
+standard) triple the attack adapters declare is calibrated exactly
+once campaign-wide.  Calibration results are deterministic values, so
+neither the store nor the scheduling can change any report — only who
+pays for the compute.  Naming a ``journal`` directory makes the
+campaign resumable: finished cells persist as they complete, and
+re-running the identical campaign replays them instead of
+re-executing.
 
 ``expand_matrix`` is the declarative front: attack x scheme x standard
 x chip-fleet grids in one call, the shape the paper's comparative
@@ -29,10 +30,6 @@ standard, on a fleet of distinct dies).
 
 from __future__ import annotations
 
-import multiprocessing
-import shutil
-import tempfile
-import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -85,7 +82,11 @@ class CampaignResult:
         reports: One :class:`AttackReport` per cell.
         cell_seconds: Wall-clock seconds per cell (diagnostic only —
             kept out of the reports so they stay deterministic).
-        n_workers: Worker processes used.
+        n_workers: Worker processes the run was scheduled across — 1
+            when it ran in-process, which a small (or mostly
+            journal-replayed) campaign does even when more were
+            requested.  Diagnostic, like the timings: reports are
+            bit-identical whatever this value.
         backend: Engine backend the cells ran on.
     """
 
@@ -157,15 +158,6 @@ def _named(entry: str | tuple[str, dict]) -> tuple[str, dict]:
         return entry, {}
     name, params = entry
     return name, dict(params)
-
-
-def _timed_cell(payload: tuple[CampaignCell, str | None]) -> tuple[AttackReport, float]:
-    cell, backend = payload
-    if backend is not None:
-        set_default_backend(backend)
-    start = time.perf_counter()
-    report = cell.execute()
-    return report, time.perf_counter() - start
 
 
 def _worker_init(backend: str | None, store_path: str | None = None) -> None:
@@ -245,118 +237,93 @@ def provision_fleet(
     return len(todo)
 
 
-def fabric_triples(cells: Sequence[CampaignCell]) -> list[tuple[int, int, int]]:
-    """The unique (lot_seed, chip_id, standard_index) calibrations the
-    cells of a campaign will actually perform, in deterministic order.
+def cell_triples(cell: CampaignCell) -> set[tuple[int, int, int]]:
+    """The (lot_seed, chip_id, standard_index) calibrations ``cell``
+    will demand when it executes.
 
-    Each attack adapter declares its provisioning demand
+    The attack adapter declares its provisioning demand
     (:meth:`~repro.campaigns.attacks.Attack.provisioning_triples`):
     oracle-only attacks declare none — pre-provisioning a die no cell
-    calibrates would add work the sequential campaign never did."""
+    calibrates would add work the sequential campaign never did.  The
+    service scheduler gates each cell on exactly this set."""
+    attack = make_attack(cell.attack, **dict(cell.attack_params))
+    return set(attack.provisioning_triples(cell.scenario))
+
+
+def fabric_triples(cells: Sequence[CampaignCell]) -> list[tuple[int, int, int]]:
+    """The unique calibrations a whole campaign will perform, in
+    deterministic order (the union of :func:`cell_triples`)."""
     triples: set[tuple[int, int, int]] = set()
     for cell in cells:
-        attack = make_attack(cell.attack, **dict(cell.attack_params))
-        triples.update(attack.provisioning_triples(cell.scenario))
+        triples.update(cell_triples(cell))
     return sorted(triples)
 
 
 def run_campaign(
     cells: Iterable[CampaignCell],
-    n_workers: int = 1,
+    n_workers: int | None = None,
     backend: str | None = None,
     json_path: str | None = None,
     calibration_store: str | None = None,
+    journal: str | None = None,
+    scheduler: str | None = None,
 ) -> CampaignResult:
     """Execute every cell; reports come back in cell order.
 
+    A thin client of the foundry service (:mod:`repro.service`): the
+    cell list becomes one :class:`~repro.service.jobs.CampaignJob`,
+    driven to completion through ``submit(job).result()``.  Drive the
+    service directly when you want streaming results or cancellation.
+
     Args:
         cells: Independent campaign cells (see :func:`expand_matrix`).
-        n_workers: 1 runs in-process; more shards cells across worker
-            processes (one private engine per worker).  Reports are
-            identical either way.
+        n_workers: 1 runs in-process; more pulls cells through the
+            work-stealing scheduler across worker processes (one
+            private engine per worker).  None resolves
+            ``REPRO_SERVICE_WORKERS`` (default 1).  Reports are
+            bit-identical whatever the count; non-positive counts are
+            rejected up front.
         backend: Optional engine backend for the cells (restored after
             an in-process run; workers die with their setting).
         json_path: When given, the machine-readable campaign artefact
             is written there (see :mod:`repro.campaigns.serialization`).
         calibration_store: Directory for the cross-process calibration
-            store the workers share.  Defaults to a campaign-private
-            temporary directory that is removed afterwards; name one
-            explicitly to keep fleet calibrations warm across
-            campaigns.  Calibration results are deterministic values,
-            so the store cannot change any report.
+            store the workers share.  Defaults to the journal's bundled
+            store when ``journal`` is named, else a campaign-private
+            temporary directory removed afterwards; name one explicitly
+            to keep fleet calibrations warm across campaigns.
+            Calibration results are deterministic values, so the store
+            cannot change any report.
+        journal: Directory of the on-disk job journal.  Completed cells
+            persist there as they finish, so re-running the identical
+            campaign after a kill resumes from the finished cells and
+            reproduces the uninterrupted run's reports bit-identically.
+        scheduler: ``"stealing"`` (default) or ``"static"`` (contiguous
+            pre-assigned shards — the naive baseline the
+            imbalanced-fleet benchmark guards against).
 
-    Sharded runs provision before they attack: the unique
-    (lot, die, standard) calibrations the fabric cells need run as one
-    :func:`provision_fleet` lockstep pass in the parent — each die
-    calibrated exactly once campaign-wide, every search step batched
-    across the lot, bulk-written to the shared store — so the attack
-    phase starts from warm calibrations instead of every worker
-    recalibrating every die it touches.
+    Sharded runs schedule the unique (lot, die, standard) calibrations
+    the attack adapters declare as first-class tasks ahead of the cells
+    they gate — each die calibrated exactly once campaign-wide, with
+    early-calibrated dies unblocking their attack cells while straggler
+    dies are still calibrating on other workers.
     """
+    from repro.service import CampaignJob, FoundryService
+
     cells = list(cells)
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    resolved_backend = backend or get_default_engine().backend
-    if n_workers == 1 or len(cells) <= 1:
-        if calibration_store is not None:
-            # In-process runs dedupe through the engine LRU already;
-            # an explicit store additionally persists the calibrations
-            # for later campaigns.
-            engine = get_default_engine()
-            previous_store = engine.calibration_store
-            engine.calibration_store = CalibrationStore(calibration_store)
-            try:
-                outcomes = _run_sequential(cells, backend)
-            finally:
-                engine.calibration_store = previous_store
-        else:
-            outcomes = _run_sequential(cells, backend)
-        n_workers = 1
-    else:
-        store_path = calibration_store or tempfile.mkdtemp(prefix="repro-calstore-")
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    handle = FoundryService().submit(
+        CampaignJob(
+            cells=tuple(cells),
+            n_workers=n_workers,
+            backend=backend,
+            calibration_store=calibration_store,
+            journal=journal,
+            scheduler=scheduler,
         )
-        try:
-            triples = fabric_triples(cells)
-            if triples:
-                # Lockstep fleet provisioning in the parent, before the
-                # pool exists: the threaded kernel absorbs the fused
-                # lot-wide batches, and its per-call worker teams leave
-                # nothing behind that a fork could orphan.
-                provision_fleet(triples, store_path, backend=backend)
-            with ctx.Pool(
-                processes=n_workers,
-                initializer=_worker_init,
-                initargs=(backend, store_path),
-            ) as pool:
-                outcomes = pool.map(
-                    _timed_cell, [(cell, backend) for cell in cells], chunksize=1
-                )
-        finally:
-            if calibration_store is None:
-                shutil.rmtree(store_path, ignore_errors=True)
-    result = CampaignResult(
-        reports=[report for report, _ in outcomes],
-        cell_seconds=[seconds for _, seconds in outcomes],
-        n_workers=n_workers,
-        backend=resolved_backend,
     )
+    result = handle.result()
     if json_path is not None:
         from repro.campaigns.serialization import dump_json, campaign_result_to_dict
 
         dump_json(json_path, campaign_result_to_dict(result, cells=cells))
     return result
-
-
-def _run_sequential(
-    cells: list[CampaignCell], backend: str | None
-) -> list[tuple[AttackReport, float]]:
-    engine = get_default_engine()
-    previous = engine.backend
-    if backend is not None:
-        set_default_backend(backend)
-    try:
-        return [_timed_cell((cell, None)) for cell in cells]
-    finally:
-        engine.backend = previous

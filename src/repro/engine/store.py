@@ -195,6 +195,23 @@ class CalibrationStore:
                 except OSError:
                     pass
 
+    def clear_lock(self, key: tuple) -> None:
+        """Remove ``key``'s lock file, if any — crashed-holder debris.
+
+        A killed process (a cancelled service job's terminated worker,
+        a SIGKILLed campaign driver) can leave its :meth:`get_or_set`
+        lock behind, and waiters would poll it for ``lock_timeout``
+        before computing.  Callers that *know* no live holder exists —
+        the service scheduler dedupes each key to one task per job
+        before provisioning — clear the debris up front.  Safe by the
+        store's own invariants: at worst a concurrent campaign
+        recomputes the deterministic value, never a wrong entry.
+        """
+        try:
+            os.unlink(self._lock(key))
+        except OSError:
+            pass
+
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("cal-*.pkl"))
 

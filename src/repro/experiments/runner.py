@@ -9,17 +9,21 @@ backend (the backends are bit-exact, so the numbers are identical —
 only the wall clock changes) and ``--json PATH`` additionally writes
 every result as a machine-readable artefact through the campaign
 serialization helpers.
+
+Execution is a thin client of the foundry service
+(:mod:`repro.service`): the selected registry entries become one
+:class:`~repro.service.jobs.ExperimentJob`, and the tables print as
+the handle streams each completed experiment.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.engine import BACKENDS, get_default_engine, set_default_backend
+from repro.engine import BACKENDS, get_default_engine
 from repro.experiments import (
     fig07_invalid_keys,
     fig08_transient,
@@ -160,28 +164,22 @@ def run_all(
         json_path: When given, every result plus the timing/engine
             summary is also written there as JSON.
     """
+    from repro.service import ExperimentJob, FoundryService
+
     stream = stream or sys.stdout
-    if backend is not None:
-        set_default_backend(backend)
-    selected = list(REGISTRY.values())
-    if names:
-        unknown = set(names) - set(REGISTRY)
-        if unknown:
-            raise KeyError(
-                f"unknown experiment(s) {sorted(unknown)}; "
-                f"known: {sorted(REGISTRY)}"
-            )
-        selected = [spec for spec in selected if spec.name in names]
+    handle = FoundryService().submit(
+        ExperimentJob(
+            names=tuple(names) if names else None, full=full, backend=backend
+        )
+    )
     results = []
     timings: list[tuple[str, float]] = []
-    for spec in selected:
-        start = time.perf_counter()
-        result = spec.execute(full=full)
-        elapsed = time.perf_counter() - start
+    for event in handle.stream():
+        result = event.payload
         results.append(result)
-        timings.append((spec.name, elapsed))
+        timings.append((event.label, event.seconds))
         print(result.format_table(), file=stream)
-        print(f"# completed in {elapsed:.1f} s\n", file=stream)
+        print(f"# completed in {event.seconds:.1f} s\n", file=stream)
     engine = get_default_engine()
     print("== timing summary ==", file=stream)
     for name, elapsed in timings:

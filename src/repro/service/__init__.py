@@ -1,0 +1,72 @@
+"""Job-oriented execution service: submit, stream, resume.
+
+The campaign, provisioning and experiment layers used to each own
+their execution loop; this package gives them one.  A
+:class:`~repro.service.service.FoundryService` accepts declarative
+:mod:`jobs <repro.service.jobs>` through a single
+``submit(job) -> JobHandle`` API:
+
+* :class:`~repro.service.jobs.CampaignJob` — an attack campaign's cell
+  list, executed behind a **work-stealing scheduler**
+  (:mod:`repro.service.scheduler`): cells are tasks on a shared queue
+  that workers pull as they free up, die calibrations are first-class
+  tasks that unblock their gated attack cells the moment they land —
+  early-calibrated dies attack while stragglers are still calibrating
+  — and imbalanced fleets pack tightly instead of idling behind a
+  dominant cell;
+* :class:`~repro.service.jobs.ProvisioningJob` — a fleet calibration
+  pass into a shared store;
+* :class:`~repro.service.jobs.ExperimentJob` — registered paper
+  artefacts in report order.
+
+The handle streams :class:`~repro.service.jobs.TaskEvent` records as
+tasks complete (``stream()``), assembles the job's result
+(``result()``), reports the lifecycle (``status()``) and cancels
+cleanly (``cancel()``).  Completed cells journal into an on-disk
+:class:`~repro.service.journal.JobJournal` as they finish, so a killed
+campaign resumes from its finished cells bit-identically.
+
+Reports are bit-identical to sequential execution across worker
+counts, backends and scheduler modes — cells rebuild their chips and
+seed their own RNGs, and calibrations are deterministic values read
+through the shared :class:`~repro.engine.store.CalibrationStore` —
+held differentially in ``tests/test_service.py``.
+:func:`~repro.campaigns.campaign.run_campaign`, the experiment runner
+and the example studies are thin clients of this service.
+"""
+
+from repro.service.jobs import (
+    CampaignJob,
+    ExperimentJob,
+    JobCancelled,
+    JobFailed,
+    JobStatus,
+    JournalMismatch,
+    ProvisioningJob,
+    SCHEDULERS,
+    SERVICE_WORKERS_ENV,
+    TaskEvent,
+    default_worker_count,
+    validate_worker_count,
+)
+from repro.service.journal import JobJournal, cells_fingerprint
+from repro.service.service import FoundryService, JobHandle
+
+__all__ = [
+    "CampaignJob",
+    "ExperimentJob",
+    "FoundryService",
+    "JobCancelled",
+    "JobFailed",
+    "JobHandle",
+    "JobJournal",
+    "JobStatus",
+    "JournalMismatch",
+    "ProvisioningJob",
+    "SCHEDULERS",
+    "SERVICE_WORKERS_ENV",
+    "TaskEvent",
+    "cells_fingerprint",
+    "default_worker_count",
+    "validate_worker_count",
+]

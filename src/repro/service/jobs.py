@@ -1,0 +1,201 @@
+"""Job descriptions and lifecycle vocabulary of the foundry service.
+
+A *job* is a picklable, declarative description of a unit of service
+work — a whole attack campaign (:class:`CampaignJob`), a fleet
+provisioning pass (:class:`ProvisioningJob`) or a run of registered
+experiments (:class:`ExperimentJob`).  Jobs carry no behaviour: the
+:class:`~repro.service.service.FoundryService` validates them up front
+at ``submit`` time and executes them through the scheduler, emitting
+one :class:`TaskEvent` per completed task and moving the handle
+through the :class:`JobStatus` lifecycle
+(``PENDING -> RUNNING -> COMPLETED`` / ``FAILED`` / ``CANCELLED``).
+
+Worker counts everywhere in the service follow one convention,
+mirrored on ``REPRO_ENGINE_THREADS``: a count must be a positive
+integer (``1`` runs in-process), rejected up front with the valid
+range in the error.  ``REPRO_SERVICE_WORKERS`` supplies the default
+for jobs that do not pin one.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+
+#: Environment variable naming the default worker count for jobs that
+#: do not pin one (unset or empty means in-process execution).
+SERVICE_WORKERS_ENV = "REPRO_SERVICE_WORKERS"
+
+#: The scheduler modes a campaign job may request.
+SCHEDULERS = ("stealing", "static")
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"      #: submitted, not yet driven
+    RUNNING = "running"      #: at least one task dispatched
+    COMPLETED = "completed"  #: every task finished, result available
+    FAILED = "failed"        #: a task raised; ``result()`` re-raises
+    CANCELLED = "cancelled"  #: cancelled; finished tasks stay journaled
+
+
+class JobFailed(RuntimeError):
+    """A task of the job raised; the message names the failing task."""
+
+
+class JobCancelled(RuntimeError):
+    """The job was cancelled before completing."""
+
+
+class JournalMismatch(ValueError):
+    """The named journal belongs to a different job (fingerprint clash)."""
+
+
+def validate_worker_count(value, name: str = "n_workers") -> int:
+    """Validate a worker count up front (the REPRO_ENGINE_THREADS
+    convention: positive integer, valid range in the error)."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(
+            f"{name} must be a positive integer "
+            f"(valid range: >= 1, where 1 runs in-process), got {value!r}"
+        )
+    return value
+
+
+def default_worker_count() -> int:
+    """Resolve the service-wide default worker count from
+    ``REPRO_SERVICE_WORKERS`` (unset or empty means 1, in-process)."""
+    raw = os.environ.get(SERVICE_WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        n = int(raw)
+    except ValueError:
+        n = -1
+    if n < 1:
+        raise ValueError(
+            f"{SERVICE_WORKERS_ENV} must be a positive integer "
+            f"(valid range: >= 1, or unset for in-process execution), "
+            f"got {raw!r}"
+        )
+    return n
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One completed task, streamed through ``JobHandle.stream()``.
+
+    Attributes:
+        kind: ``"cell"`` (an executed campaign cell), ``"replay"`` (a
+            cell served from the job journal), ``"provision"`` (a die
+            calibration), or ``"experiment"`` (one registry entry).
+        label: Human-readable task tag.
+        index: Position of the task in the job's own ordering (cell
+            index, experiment position), None for provisioning.
+        payload: The task's result — an
+            :class:`~repro.campaigns.report.AttackReport`, an
+            ``ExperimentResult``, or a provisioning triple/count.
+        seconds: Wall-clock seconds the task took (journal replays
+            carry the original run's timing).
+    """
+
+    kind: str
+    label: str
+    index: int | None = None
+    payload: object = None
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """Execute a list of campaign cells and assemble a
+    :class:`~repro.campaigns.campaign.CampaignResult`.
+
+    Attributes:
+        cells: The independent cells, in report order (see
+            :func:`~repro.campaigns.campaign.expand_matrix`).
+        n_workers: Worker processes; None resolves
+            ``REPRO_SERVICE_WORKERS`` (default 1, in-process).
+        backend: Optional engine backend for the whole job.
+        calibration_store: Directory of the cross-process calibration
+            store workers share; None uses the journal's store when a
+            journal is named, else a job-private temporary directory.
+        journal: Directory of the on-disk job journal.  Completed cells
+            persist there as they finish, so resubmitting the identical
+            job resumes from the finished cells bit-identically; a
+            journal written by a *different* cell list is rejected with
+            :class:`JournalMismatch`.
+        scheduler: ``"stealing"`` (shared task queue, workers pull as
+            they free up — the default) or ``"static"`` (contiguous
+            pre-assigned shards; the naive baseline the imbalanced-fleet
+            benchmark guards against).  None inherits the service's
+            default.
+    """
+
+    cells: tuple = ()
+    n_workers: int | None = None
+    backend: str | None = None
+    calibration_store: str | None = None
+    journal: str | None = None
+    scheduler: str | None = None
+
+    def validate(self) -> None:
+        """Reject malformed jobs up front, before any work happens."""
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}"
+            )
+        if self.n_workers is not None:
+            validate_worker_count(self.n_workers)
+
+
+@dataclass(frozen=True)
+class ProvisioningJob:
+    """Fleet-calibrate ``(lot_seed, chip_id, standard_index)`` triples
+    into a calibration store; the result is the number computed.
+
+    With one worker the pass runs as a single parent-side lockstep
+    :func:`~repro.campaigns.campaign.provision_fleet` batch; with more,
+    each missing triple becomes a first-class task on the scheduler's
+    shared queue.
+    """
+
+    triples: tuple = ()
+    calibration_store: str | None = None
+    backend: str | None = None
+    n_workers: int | None = None
+
+    def validate(self) -> None:
+        if self.calibration_store is None:
+            raise ValueError("ProvisioningJob requires a calibration_store")
+        for triple in self.triples:
+            if len(tuple(triple)) != 3:
+                raise ValueError(
+                    f"provisioning triples are (lot_seed, chip_id, "
+                    f"standard_index), got {triple!r}"
+                )
+        if self.n_workers is not None:
+            validate_worker_count(self.n_workers)
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """Run registered experiments (the runner's registry) in report
+    order; the result is the list of ``ExperimentResult`` tables."""
+
+    names: tuple | None = None
+    full: bool = False
+    backend: str | None = None
+
+    def validate(self) -> None:
+        if self.names:
+            from repro.experiments.runner import REGISTRY
+
+            unknown = set(self.names) - set(REGISTRY)
+            if unknown:
+                raise KeyError(
+                    f"unknown experiment(s) {sorted(unknown)}; "
+                    f"known: {sorted(REGISTRY)}"
+                )

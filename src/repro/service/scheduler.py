@@ -1,0 +1,239 @@
+"""Work-stealing task scheduler: a shared queue workers pull from.
+
+The campaign layer's original sharding mapped whole cells over a
+process pool — a static split that leaves workers idle whenever one
+die's attack dominates the wall clock, and serialises provisioning
+ahead of the whole attack phase.  This scheduler replaces that with a
+pull model: every unit of work (a die calibration, an attack cell) is
+a task on one shared queue, workers take the next task the moment they
+free up, and attack cells that need a die's calibration are *gated* —
+queued the instant their die's provisioning task completes, while
+straggler dies are still calibrating on other workers.  Imbalanced
+fleets therefore pack tightly (the dominant cell occupies one worker
+while the others drain the rest), and provisioning overlaps the attack
+phase instead of preceding it.
+
+Determinism: tasks carry their cell index, results are journaled and
+assembled by index, every cell rebuilds its chip and seeds its own
+RNGs, and die calibrations are deterministic values read through the
+shared :class:`~repro.engine.store.CalibrationStore` — so the reports
+are bit-identical to a sequential run whatever the worker count or
+pull order (held differentially in ``tests/test_service.py``).
+
+The ``static`` mode pre-assigns contiguous cell shards per worker
+(what naive sharding would do) and exists as the baseline the
+imbalanced-fleet benchmark in ``benchmarks/test_bench_campaign.py``
+guards the work-stealing speedup against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.service.jobs import JobFailed
+
+#: Seconds between worker-liveness checks while awaiting results.
+POLL_SECONDS = 0.2
+
+
+@dataclass(frozen=True)
+class ProvisionTask:
+    """Calibrate one ``(lot_seed, chip_id, standard_index)`` die into
+    the shared calibration store."""
+
+    triple: tuple
+
+    def label(self) -> str:
+        lot_seed, chip_id, standard_index = self.triple
+        return f"provision lot{lot_seed}/chip{chip_id}/std{standard_index}"
+
+    def run(self):
+        from repro.campaigns.scenario import ChipSpec, provision_calibration
+        from repro.receiver.standards import standard_by_index
+
+        lot_seed, chip_id, standard_index = self.triple
+        provision_calibration(
+            ChipSpec(lot_seed=lot_seed, chip_id=chip_id),
+            standard_by_index(standard_index),
+        )
+        return self.triple
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """Execute one campaign cell (the cell rebuilds its own chip and
+    seeds its own RNGs, so it runs identically on any worker)."""
+
+    index: int
+    cell: object
+
+    def label(self) -> str:
+        return self.cell.label()
+
+    def run(self):
+        return self.cell.execute()
+
+
+def _worker_loop(tasks, task_queue, result_queue, backend, store_path) -> None:
+    """One worker process: pull tasks until the sentinel (stealing mode,
+    ``task_queue``) or the pre-assigned shard runs dry (static mode,
+    ``tasks``), reporting each outcome on ``result_queue``.
+
+    Worker initialisation matches the campaign layer exactly — a
+    pristine private engine of the requested backend, reading through
+    the campaign's shared calibration store — so reports cannot depend
+    on which worker ran a cell.
+    """
+    from repro.campaigns.campaign import _worker_init
+
+    _worker_init(backend, store_path)
+    shard = list(tasks or [])
+    while True:
+        if task_queue is not None:
+            task = task_queue.get()
+        else:
+            task = shard.pop(0) if shard else None
+        if task is None:
+            return
+        start = time.perf_counter()
+        try:
+            payload = task.run()
+        except BaseException:
+            result_queue.put(
+                ("error", task, None, time.perf_counter() - start,
+                 traceback.format_exc())
+            )
+            continue
+        result_queue.put(
+            ("done", task, payload, time.perf_counter() - start, None)
+        )
+
+
+def _context():
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+
+def _collect(workers, result_queue, n_pending):
+    """Yield ``(task, payload, seconds)`` for every pending task,
+    failing the job if a worker dies or a task raises."""
+    while n_pending:
+        try:
+            kind, task, payload, seconds, error = result_queue.get(
+                timeout=POLL_SECONDS
+            )
+        except queue_module.Empty:
+            dead = [w for w in workers if not w.is_alive() and w.exitcode]
+            if dead:
+                raise JobFailed(
+                    f"worker died with exit code {dead[0].exitcode} "
+                    f"({n_pending} tasks outstanding)"
+                )
+            continue
+        if kind == "error":
+            raise JobFailed(f"task {task.label()!r} failed:\n{error}")
+        n_pending -= 1
+        yield task, payload, seconds
+
+
+def _shutdown(workers, graceful: bool) -> None:
+    """Reap the worker team: join finished workers, terminate stragglers
+    (a cancelled job must not leave orphans behind)."""
+    for worker in workers:
+        if graceful:
+            worker.join(timeout=5.0)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+
+
+def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
+                 backend, store_path):
+    """Drive a work-stealing round: yields one ``(task, payload,
+    seconds)`` per completed task, in completion order.
+
+    ``cell_triples`` maps cell index -> set of provisioning triples the
+    cell is gated on; gated cells enqueue the moment their last triple
+    completes, so early-calibrated dies unblock their attack cells
+    while stragglers are still calibrating.
+    """
+    blocked = {
+        task.index: set(cell_triples.get(task.index, ()))
+        for task in cell_tasks
+    }
+    waiters: dict[tuple, list] = {}
+    for task in cell_tasks:
+        for triple in blocked[task.index]:
+            waiters.setdefault(triple, []).append(task)
+    n_tasks = len(cell_tasks) + len(provision_tasks)
+    ctx = _context()
+    task_queue, result_queue = ctx.Queue(), ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_loop,
+            args=(None, task_queue, result_queue, backend, store_path),
+            daemon=True,
+        )
+        for _ in range(max(1, min(n_workers, n_tasks)))
+    ]
+    for worker in workers:
+        worker.start()
+    graceful = False
+    try:
+        # Provisioning first: it unblocks the most downstream work.
+        for task in provision_tasks:
+            task_queue.put(task)
+        for task in cell_tasks:
+            if not blocked[task.index]:
+                task_queue.put(task)
+        for task, payload, seconds in _collect(workers, result_queue, n_tasks):
+            if isinstance(task, ProvisionTask):
+                for waiter in waiters.pop(task.triple, ()):
+                    pending = blocked[waiter.index]
+                    pending.discard(task.triple)
+                    if not pending:
+                        task_queue.put(waiter)
+            yield task, payload, seconds
+        for _ in workers:
+            task_queue.put(None)
+        graceful = True
+    finally:
+        _shutdown(workers, graceful)
+
+
+def run_static(cell_tasks, n_workers, backend, store_path):
+    """Drive a static round: contiguous shards pre-assigned per worker.
+
+    The naive baseline — no queue, no stealing: each worker executes
+    its slice of the cell list in order, so one dominant cell pins its
+    whole shard behind it.  Provisioning is not gated here; the caller
+    provisions (lockstep, parent-side) before sharding.
+    """
+    tasks = list(cell_tasks)
+    n_workers = max(1, min(n_workers, len(tasks)))
+    chunk = (len(tasks) + n_workers - 1) // n_workers
+    shards = [tasks[i * chunk:(i + 1) * chunk] for i in range(n_workers)]
+    ctx = _context()
+    result_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_loop,
+            args=(shard, None, result_queue, backend, store_path),
+            daemon=True,
+        )
+        for shard in shards
+        if shard
+    ]
+    for worker in workers:
+        worker.start()
+    graceful = False
+    try:
+        yield from _collect(workers, result_queue, len(tasks))
+        graceful = True
+    finally:
+        _shutdown(workers, graceful)

@@ -1,0 +1,426 @@
+"""The foundry service: one ``submit(job) -> JobHandle`` front door.
+
+:class:`FoundryService` is the execution layer everything above the
+engine now talks to: campaigns, fleet provisioning passes and
+experiment-registry runs are all :mod:`~repro.service.jobs` submitted
+through one API and executed behind one scheduler.  A submitted job is
+validated up front (worker counts, scheduler names, attack names,
+journal binding — all rejected before any work starts) and returns a
+:class:`JobHandle`:
+
+* ``handle.stream()`` — iterate :class:`~repro.service.jobs.TaskEvent`
+  records as tasks complete (completion order, not cell order);
+* ``handle.result()`` — drive to completion and return the job's
+  result (a :class:`~repro.campaigns.campaign.CampaignResult`, a
+  provisioning count, or the experiment result list);
+* ``handle.status()`` — the :class:`~repro.service.jobs.JobStatus`
+  lifecycle;
+* ``handle.cancel()`` — stop scheduling, reap the worker team, keep
+  everything already journaled.
+
+The handle's consumer drives the job: no scheduler thread lives in the
+parent process, so when the scheduler forks its worker team the parent
+is single-threaded — the same fork-safety argument as the engine
+kernel's per-call thread teams.  Campaign reports are bit-identical to
+a sequential run whatever the worker count, backend or scheduler mode
+(cells rebuild their chips and seed their own RNGs; calibrations are
+deterministic values read through the shared store), and a campaign
+with a journal resumes from its finished cells after a kill — both
+held in ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.engine import CalibrationStore, get_default_engine, set_default_backend
+from repro.service.jobs import (
+    CampaignJob,
+    ExperimentJob,
+    JobCancelled,
+    JobFailed,
+    JobStatus,
+    ProvisioningJob,
+    SCHEDULERS,
+    TaskEvent,
+    default_worker_count,
+    validate_worker_count,
+)
+from repro.service.journal import JobJournal, cells_fingerprint
+from repro.service.scheduler import (
+    CellTask,
+    ProvisionTask,
+    run_static,
+    run_stealing,
+)
+
+
+class JobHandle:
+    """Lifecycle handle of one submitted job (see module docstring)."""
+
+    def __init__(self, job, executor):
+        self.job = job
+        self._executor = executor
+        self._status = JobStatus.PENDING
+        self._events: list[TaskEvent] = []
+        self._result = None
+        self._error: JobFailed | None = None
+        self._cancelled = False
+        self._gen = None
+
+    def status(self) -> JobStatus:
+        """Where the job is in its lifecycle."""
+        return self._status
+
+    def events(self) -> list[TaskEvent]:
+        """Every event delivered so far (the stream's log)."""
+        return list(self._events)
+
+    def _run(self):
+        self._result = yield from self._executor()
+
+    def _advance(self) -> bool:
+        """Drive one task event; False when no more will come."""
+        if self._status in (
+            JobStatus.COMPLETED,
+            JobStatus.FAILED,
+            JobStatus.CANCELLED,
+        ):
+            return False
+        if self._cancelled:
+            self._status = JobStatus.CANCELLED
+            return False
+        if self._gen is None:
+            self._gen = self._run()
+            self._status = JobStatus.RUNNING
+        try:
+            event = self._gen.send(None)
+        except StopIteration:
+            self._status = JobStatus.COMPLETED
+            return False
+        except JobFailed as exc:
+            self._status = JobStatus.FAILED
+            self._error = exc
+            raise
+        except BaseException as exc:
+            self._status = JobStatus.FAILED
+            self._error = JobFailed(
+                f"{self.job.__class__.__name__} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            raise self._error from exc
+        self._events.append(event)
+        return True
+
+    def stream(self):
+        """Yield :class:`TaskEvent` records as tasks complete.
+
+        Drives the job while iterated; events already delivered are
+        replayed first, so late (or repeated) consumers see the full
+        log.  The stream simply ends on cancellation; a failure raises
+        :class:`JobFailed` after the delivered events — for live and
+        late consumers alike, so a failed job is never mistaken for a
+        completed one.
+        """
+        i = 0
+        while True:
+            while i >= len(self._events):
+                if not self._advance():
+                    if self._status is JobStatus.FAILED:
+                        raise self._error
+                    return
+            yield self._events[i]
+            i += 1
+
+    def result(self):
+        """Drive the job to completion and return its result.
+
+        Raises :class:`JobFailed` when a task raised and
+        :class:`JobCancelled` when the job was cancelled.
+        """
+        while self._status in (JobStatus.PENDING, JobStatus.RUNNING):
+            if not self._advance():
+                break
+        if self._status is JobStatus.FAILED:
+            raise self._error
+        if self._status is JobStatus.CANCELLED:
+            raise JobCancelled(
+                f"job cancelled after {len(self._events)} completed tasks"
+            )
+        return self._result
+
+    def cancel(self) -> bool:
+        """Stop the job at the next task boundary.
+
+        Finished tasks stay journaled (a resubmission resumes from
+        them); in-flight workers are reaped.  Returns False when the
+        job had already finished.
+        """
+        if self._status in (
+            JobStatus.COMPLETED,
+            JobStatus.FAILED,
+            JobStatus.CANCELLED,
+        ):
+            return False
+        self._cancelled = True
+        if self._gen is not None:
+            self._gen.close()  # GeneratorExit -> scheduler reaps workers
+            self._gen = None
+        self._status = JobStatus.CANCELLED
+        return True
+
+
+class FoundryService:
+    """Job-oriented execution front door (``submit`` / ``JobHandle``).
+
+    Args:
+        n_workers: Default worker count for jobs that do not pin one;
+            None falls back to ``REPRO_SERVICE_WORKERS`` (default 1).
+        scheduler: Default campaign scheduler mode (``"stealing"``).
+    """
+
+    def __init__(self, n_workers: int | None = None, scheduler: str = "stealing"):
+        if n_workers is not None:
+            validate_worker_count(n_workers)
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+            )
+        self.n_workers = n_workers
+        self.scheduler = scheduler
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, job) -> JobHandle:
+        """Validate ``job`` up front and return its handle (PENDING).
+
+        Execution is driven by the handle's consumer — iterate
+        ``stream()`` or call ``result()``.
+        """
+        if isinstance(job, CampaignJob):
+            prepare = self._prepare_campaign
+        elif isinstance(job, ProvisioningJob):
+            prepare = self._prepare_provisioning
+        elif isinstance(job, ExperimentJob):
+            prepare = self._prepare_experiments
+        else:
+            raise TypeError(
+                f"unknown job type {type(job).__name__}; submit a "
+                f"CampaignJob, ProvisioningJob or ExperimentJob"
+            )
+        job.validate()
+        executor = prepare(job)
+        return JobHandle(job, executor)
+
+    def _resolve_workers(self, job_workers: int | None) -> int:
+        if job_workers is not None:
+            return validate_worker_count(job_workers)
+        if self.n_workers is not None:
+            return self.n_workers
+        return default_worker_count()
+
+    # -- campaign jobs ----------------------------------------------------
+
+    def _prepare_campaign(self, job: CampaignJob):
+        from repro.campaigns.attacks import make_attack
+
+        cells = list(job.cells)
+        n_workers = self._resolve_workers(job.n_workers)
+        scheduler = job.scheduler or self.scheduler
+        # Up-front validation: every attack name must resolve before
+        # any cell (or worker fork) runs.
+        for attack, params in {(c.attack, c.attack_params) for c in cells}:
+            make_attack(attack, **dict(params))
+        journal = None
+        if job.journal is not None:
+            journal = JobJournal(job.journal)
+            journal.bind(
+                cells_fingerprint(cells), meta={"n_cells": len(cells)}
+            )
+        return lambda: self._campaign_events(job, cells, n_workers,
+                                             scheduler, journal)
+
+    def _campaign_events(self, job, cells, n_workers, scheduler, journal):
+        from repro.campaigns.campaign import CampaignResult
+
+        resolved_backend = job.backend or get_default_engine().backend
+        reports: dict[int, object] = {}
+        timings: dict[int, float] = {}
+        replayed = journal.completed_cells(len(cells)) if journal else {}
+        for index in sorted(replayed):
+            label, report, seconds = replayed[index]
+            reports[index] = report
+            timings[index] = seconds
+            yield TaskEvent("replay", label, index, report, seconds)
+        todo = [(i, cell) for i, cell in enumerate(cells) if i not in replayed]
+        if n_workers == 1 or len(todo) <= 1:
+            runner = self._campaign_inline(job, todo, journal)
+            reported_workers = 1
+        else:
+            runner = self._campaign_sharded(job, todo, n_workers,
+                                            scheduler, journal)
+            reported_workers = n_workers
+        for event in runner:
+            if event.kind == "cell":
+                reports[event.index] = event.payload
+                timings[event.index] = event.seconds
+            yield event
+        return CampaignResult(
+            reports=[reports[i] for i in range(len(cells))],
+            cell_seconds=[timings[i] for i in range(len(cells))],
+            n_workers=reported_workers,
+            backend=resolved_backend,
+        )
+
+    def _campaign_inline(self, job, todo, journal):
+        """In-process execution, cell order — the ground truth every
+        other mode is differentially held against."""
+        engine = get_default_engine()
+        previous_backend = engine.backend
+        previous_store = engine.calibration_store
+        store_dir = job.calibration_store or (
+            journal.calibration_store_path() if journal else None
+        )
+        if job.backend is not None:
+            set_default_backend(job.backend)
+        if store_dir is not None:
+            engine.calibration_store = CalibrationStore(store_dir)
+        try:
+            for index, cell in todo:
+                start = time.perf_counter()
+                report = cell.execute()
+                seconds = time.perf_counter() - start
+                if journal is not None:
+                    journal.put_cell(index, cell.label(), report, seconds)
+                yield TaskEvent("cell", cell.label(), index, report, seconds)
+        finally:
+            engine.backend = previous_backend
+            engine.calibration_store = previous_store
+
+    def _campaign_sharded(self, job, todo, n_workers, scheduler, journal):
+        """Worker-process execution behind the scheduler."""
+        from repro.campaigns.campaign import cell_triples as triples_of
+        from repro.campaigns.campaign import provision_fleet
+
+        store_path = job.calibration_store or (
+            journal.calibration_store_path() if journal else None
+        )
+        own_tmp = store_path is None
+        if own_tmp:
+            store_path = tempfile.mkdtemp(prefix="repro-calstore-")
+        try:
+            store = CalibrationStore(store_path)
+            cell_triples = {index: triples_of(cell) for index, cell in todo}
+            triples = sorted(set().union(*cell_triples.values())) if cell_triples else []
+            missing = [
+                t for t, hit in zip(triples, store.get_many(triples))
+                if hit is None
+            ]
+            for triple in missing:
+                # A killed run's terminated worker can leave its
+                # get_or_set lock behind; this job owns each triple as
+                # exactly one task, so any existing lock is debris.
+                store.clear_lock(triple)
+            for index in cell_triples:
+                cell_triples[index] &= set(missing)
+            cell_tasks = [CellTask(index, cell) for index, cell in todo]
+            if scheduler == "static":
+                if missing:
+                    # The pre-scheduler behaviour: one parent-side
+                    # lockstep pass before any worker exists.
+                    start = time.perf_counter()
+                    provision_fleet(missing, store, backend=job.backend)
+                    yield TaskEvent(
+                        "provision",
+                        f"fleet of {len(missing)} dies",
+                        None,
+                        tuple(missing),
+                        time.perf_counter() - start,
+                    )
+                events = run_static(cell_tasks, n_workers, job.backend,
+                                    store_path)
+            else:
+                events = run_stealing(
+                    cell_tasks,
+                    [ProvisionTask(t) for t in missing],
+                    cell_triples,
+                    n_workers,
+                    job.backend,
+                    store_path,
+                )
+            for task, payload, seconds in events:
+                if isinstance(task, CellTask):
+                    if journal is not None:
+                        journal.put_cell(task.index, task.label(),
+                                         payload, seconds)
+                    yield TaskEvent("cell", task.label(), task.index,
+                                    payload, seconds)
+                else:
+                    yield TaskEvent("provision", task.label(), None,
+                                    payload, seconds)
+        finally:
+            if own_tmp:
+                shutil.rmtree(store_path, ignore_errors=True)
+
+    # -- provisioning jobs ------------------------------------------------
+
+    def _prepare_provisioning(self, job: ProvisioningJob):
+        n_workers = self._resolve_workers(job.n_workers)
+        return lambda: self._provisioning_events(job, n_workers)
+
+    def _provisioning_events(self, job, n_workers):
+        from repro.campaigns.campaign import provision_fleet
+
+        store = CalibrationStore(job.calibration_store)
+        triples = sorted({tuple(t) for t in job.triples})
+        missing = [
+            t for t, hit in zip(triples, store.get_many(triples))
+            if hit is None
+        ]
+        for triple in missing:
+            store.clear_lock(triple)  # killed-run debris; see campaign path
+        if not missing:
+            return 0
+        if n_workers == 1 or len(missing) <= 1:
+            start = time.perf_counter()
+            provision_fleet(missing, store, backend=job.backend)
+            yield TaskEvent(
+                "provision",
+                f"fleet of {len(missing)} dies",
+                None,
+                tuple(missing),
+                time.perf_counter() - start,
+            )
+        else:
+            events = run_stealing(
+                [], [ProvisionTask(t) for t in missing], {}, n_workers,
+                job.backend, str(store.path),
+            )
+            for task, payload, seconds in events:
+                yield TaskEvent("provision", task.label(), None, payload,
+                                seconds)
+        return len(missing)
+
+    # -- experiment jobs --------------------------------------------------
+
+    def _prepare_experiments(self, job: ExperimentJob):
+        return lambda: self._experiment_events(job)
+
+    def _experiment_events(self, job):
+        from repro.experiments.runner import REGISTRY
+
+        if job.backend is not None:
+            set_default_backend(job.backend)
+        selected = list(REGISTRY.values())
+        if job.names:
+            selected = [spec for spec in selected if spec.name in job.names]
+        results = []
+        for position, spec in enumerate(selected):
+            start = time.perf_counter()
+            result = spec.execute(full=job.full)
+            seconds = time.perf_counter() - start
+            results.append(result)
+            yield TaskEvent("experiment", spec.name, position, result, seconds)
+        return results

@@ -247,6 +247,40 @@ class TestExpandMatrix:
         assert cells[0].scenario.cost == "simulation"
         assert cells[0].scenario.seed == 42
 
+    def test_empty_axes_expand_to_empty_grids(self):
+        # An empty axis empties the whole product — no attack, no
+        # standard, or (for the chip-carrying fabric target) no chip.
+        assert expand_matrix([]) == []
+        assert expand_matrix(["removal"], standard_indices=()) == []
+        assert expand_matrix(["removal"], chip_ids=()) == []
+        # Baseline schemes carry no chip, so an empty chip axis still
+        # empties their expansion (the axis is sliced, not defaulted).
+        assert expand_matrix(
+            ["removal"], schemes=["memristor"], chip_ids=()
+        ) == []
+        # An empty campaign is a valid (empty) run, not an error.
+        result = run_campaign([])
+        assert result.reports == [] and result.cell_seconds == []
+
+    def test_duplicate_standards_expand_to_duplicate_cells(self):
+        # Grid semantics: axes are sequences, not sets — a repeated
+        # standard index repeats its cells, in expansion order.
+        cells = expand_matrix(["removal"], standard_indices=(0, 0, 1))
+        assert len(cells) == 3
+        assert cells[0] == cells[1]
+        assert cells[2].scenario.standard_index == 1
+
+    def test_single_cell_grid(self):
+        cells = expand_matrix(
+            ["brute-force"],
+            schemes=["fabric"],
+            standard_indices=(3,),
+            chip_ids=(5,),
+        )
+        assert len(cells) == 1
+        assert cells[0].scenario.standard_index == 3
+        assert cells[0].scenario.chip.chip_id == 5
+
 
 class TestReportsAndSerialization:
     def test_report_summary_lines(self):
