@@ -5,7 +5,11 @@ at quick-mode sizes (the fig7 sweep: 16 keys, 2048-sample records), so
 the batching speedup is tracked in the BENCH trajectory, plus the
 speedup ratios themselves as guarded regression tests: vectorized vs
 reference at 16 keys, and — wherever enough cores exist — the kernel's
-threaded key axis vs its sequential walk at a 64-key batch.
+threaded key axis vs its sequential walk at a 64-key batch, its SIMD
+lane axis vs the scalar walk (single-thread, uniform-mode 64-key
+batch), and the pinned-order kernel FIR vs the per-row np.convolve
+loop it replaced.  Guards a host cannot run are exported as explicit
+``skipped`` records (see conftest).
 """
 
 import time
@@ -17,6 +21,7 @@ from repro.engine import (
     ModulatorRequest,
     SimulationEngine,
     kernel_available,
+    kernel_simd_width,
     kernel_threaded,
     usable_cpus,
 )
@@ -38,6 +43,25 @@ def _requests(batch: int = BATCH):
             n_samples=N_FFT, seed=7,
         )
         for _ in range(batch)
+    ]
+
+
+def _uniform_requests(batch: int):
+    """One loop topology across the batch, per-key data varying — the
+    shape the SIMD lane packer fills completely (random configs mix
+    modes and fragment packs, which is the scalar path's job)."""
+    stim = ToneStimulus.single(stimulus_frequency(STD, 64, N_FFT), -25.0)
+    base = ConfigWord(
+        lna_gain=7, cc_coarse=10, cf_fine=128, gmq_code=20, gmin_code=24,
+        preamp_code=20, comp_code=31, dac_code=32, delay_code=12,
+        buffer_code=4,
+    )
+    return [
+        ModulatorRequest(
+            config=base.replace(dac_code=16 + k % 32, gmq_code=10 + k % 20),
+            stimulus=stim, fs=STD.fs, n_samples=N_FFT, seed=k,
+        )
+        for k in range(batch)
     ]
 
 
@@ -132,4 +156,102 @@ def test_parallel_kernel_speedup_at_64_keys(benchmark, monkeypatch):
     assert speedup >= 2.0, (
         f"threaded kernel {threaded:.0f} keys/s vs sequential "
         f"{sequential:.0f} keys/s ({speedup:.1f}x < 2x)"
+    )
+
+
+@pytest.mark.skipif(
+    not kernel_available(),
+    reason="no C compiler: vectorized backend falls back to the reference loop",
+)
+@pytest.mark.skipif(
+    kernel_available() and kernel_simd_width() < 4,
+    reason="host/toolchain supports fewer than 4 SIMD lanes",
+)
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="needs >= 4 usable CPUs for stable single-thread timing",
+)
+def test_simd_kernel_speedup_at_64_keys(benchmark, monkeypatch):
+    """The acceptance ratio: SIMD >= 1.5x the scalar kernel walk.
+
+    A uniform-mode 64-key batch, key axis pinned to ONE thread so the
+    ratio isolates the lane axis; REPRO_ENGINE_SIMD=0 forces the scalar
+    walk, auto detects the host's lanes.  Lane width cannot change
+    results — 0/2/4-lane bit-identity is guarded in
+    tests/test_engine.py — so the ratio is pure throughput.  The bound
+    sits below the measured ~1.55x: per-lane tanh stays the scalar libm
+    call by the exactness contract, which caps the win at the Amdahl
+    limit of the non-transcendental work.
+    """
+    chip = Chip()
+    requests = _uniform_requests(64)
+    monkeypatch.setenv("REPRO_ENGINE_THREADS", "1")
+
+    def throughput(simd: str) -> float:
+        monkeypatch.setenv("REPRO_ENGINE_SIMD", simd)
+        return max(_throughput("vectorized", chip, requests) for _ in range(3))
+
+    scalar = throughput("0")
+    simd = throughput("auto")
+    speedup = simd / scalar
+    benchmark.extra_info["backend"] = "vectorized"
+    benchmark.extra_info["simd_width"] = kernel_simd_width()
+    benchmark.extra_info["scalar_keys_per_s"] = round(scalar, 1)
+    benchmark.extra_info["simd_keys_per_s"] = round(simd, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark(lambda: None)  # ratio computed above; keep the harness happy
+    assert speedup >= 1.5, (
+        f"SIMD kernel {simd:.0f} keys/s vs scalar {scalar:.0f} keys/s "
+        f"({speedup:.1f}x < 1.5x)"
+    )
+
+
+@pytest.mark.skipif(
+    not kernel_available(),
+    reason="no C compiler: FIR stages run the NumPy pinned-order transcription",
+)
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="needs >= 4 usable CPUs for the threaded row axis",
+)
+def test_kernel_fir_speedup_at_16_key_matrix(benchmark, monkeypatch):
+    """The acceptance ratio: kernel FIR >= 2x per-row np.convolve.
+
+    A 16-key receiver-scale matrix through the half-band taps: the
+    kernel's threaded pinned-order convolution against the per-row
+    Python np.convolve loop the FIR stages used to carry.  The pinned
+    path is its own bit-pinned spec (C == NumPy transcription
+    everywhere, guarded in tests/test_dsp_filters_decimate.py);
+    np.convolve agrees to a few ULPs but not bitwise (BLAS dot order).
+    """
+    from repro.dsp.filters import design_halfband
+    from repro.engine.native import fir_batch_native
+
+    monkeypatch.delenv("REPRO_ENGINE_THREADS", raising=False)
+    taps = design_halfband(31)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((16, 64 * 512))
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    fir_batch_native(x, taps)  # warm the kernel
+    t_convolve = best(
+        lambda: np.stack([np.convolve(row, taps, mode="same") for row in x])
+    )
+    t_kernel = best(lambda: fir_batch_native(x, taps))
+    speedup = t_convolve / t_kernel
+    benchmark.extra_info["backend"] = "vectorized"
+    benchmark.extra_info["convolve_ms"] = round(t_convolve * 1e3, 2)
+    benchmark.extra_info["kernel_ms"] = round(t_kernel * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark(lambda: None)  # ratio computed above; keep the harness happy
+    assert speedup >= 2.0, (
+        f"kernel FIR {t_kernel * 1e3:.1f} ms vs np.convolve rows "
+        f"{t_convolve * 1e3:.1f} ms ({speedup:.1f}x < 2x)"
     )

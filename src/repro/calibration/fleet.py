@@ -27,7 +27,12 @@ in the same order as the sequential
 machine — the fleet only *regroups* them with other dies' requests, and
 engine results are a pure function of the individual request (the
 mixed-chip batch property of ``run_multi``).  Every decode is pure
-per-die post-processing.  So per-die keys, scores, step logs and
+per-die post-processing — including the *fused* frequency decode,
+which meters every active die's fosc probe through one
+:func:`~repro.calibration.metering.oscillation_frequency_batch` call
+per round (one windowed FFT over the whole fleet instead of one scalar
+FFT per die) and is bit-identical per record to each probe's own
+``decode``.  So per-die keys, scores, step logs and
 metered measurement counts are bit-identical to calibrating each die
 alone — the property ``tests/test_fleet_calibration.py`` holds
 differentially across fleet sizes, standards mixes, backends and
@@ -38,6 +43,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.calibration import metering
 from repro.calibration.procedure import (
     CalibrationProbe,
     CalibrationResult,
@@ -165,11 +171,28 @@ class FleetCalibrator(Calibrator):
             )
             position = 0
             decoded = {}
+            # Frequency probes expose a fused decode: instead of one
+            # scalar FFT per die per round, every active die's record
+            # goes through ONE batched meter call (bit-identical per
+            # record — see CalibrationProbe.fused_extract).
+            fused: list[tuple[int, object, float]] = []
             for die in active:
                 probe = pending[die]
                 span = len(probe.requests)
-                decoded[die] = probe.decode(outs[position : position + span])
+                chunk = outs[position : position + span]
+                if probe.fused_extract is not None:
+                    record, fs = probe.fused_extract(chunk)
+                    fused.append((die, record, fs))
+                else:
+                    decoded[die] = probe.decode(chunk)
                 position += span
+            if fused:
+                freqs = metering.oscillation_frequency_batch(
+                    [record for _, record, _ in fused],
+                    [fs for _, _, fs in fused],
+                )
+                for (die, _, _), freq in zip(fused, freqs):
+                    decoded[die] = freq
             for die in active:
                 del pending[die]
                 advance(die, decoded[die])

@@ -168,11 +168,20 @@ class CalibrationProbe:
             request order) to the value the machine expects back.
         kind: Debug/audit label (``"fosc"``, ``"oscillates"``,
             ``"scores"``, ``"verify"``).
+        fused_extract: Optional hook for drivers that decode many
+            probes at once: maps this probe's results to the
+            ``(record, fs)`` pair a batched meter
+            (:func:`~repro.calibration.metering.
+            oscillation_frequency_batch`) consumes.  The batched value
+            is bit-identical to ``decode`` on the same results, so
+            fusing is pure driver throughput policy — drivers without
+            the hook (or ignoring it) call ``decode`` as ever.
     """
 
     requests: tuple["ModulatorRequest", ...]
     decode: Callable[[list], object]
     kind: str = ""
+    fused_extract: Callable[[list], tuple] | None = None
 
 
 #: A calibration state machine: yields probes, receives decoded values.
@@ -191,11 +200,21 @@ def _fosc_probe(
     """
     request = chip.oscillation_request(config, standard.fs, seed=seed)
 
-    def decode(results) -> float | None:
-        settled = results[0].output[request.n_samples // 2 :]
-        return metering.oscillation_frequency(settled, standard.fs)
+    def settled(results):
+        return results[0].output[request.n_samples // 2 :]
 
-    return CalibrationProbe((request,), decode, kind="fosc")
+    def decode(results) -> float | None:
+        return metering.oscillation_frequency(settled(results), standard.fs)
+
+    return CalibrationProbe(
+        (request,),
+        decode,
+        kind="fosc",
+        # The fleet driver fuses every active die's frequency decode
+        # into one batched meter call per round (same settled slice,
+        # same meter arithmetic — bit-identical to decode()).
+        fused_extract=lambda results: (settled(results), standard.fs),
+    )
 
 
 def _oscillates_probe(

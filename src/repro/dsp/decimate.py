@@ -18,10 +18,34 @@ instead of re-entering the chain per key.  The matrix path is
 bit-identical to running ``process`` row by row — integrators are
 per-row cumulative sums (NumPy accumulates each row of an ``axis=-1``
 cumsum in the same sequential order as the 1-D call), combs and
-subsampling are elementwise, and the FIR stages keep the *same*
-``np.convolve`` primitive per row, because its accumulation order (a
-BLAS dot under the hood) is implementation-defined and no re-ordered
-vectorised formulation is guaranteed to round identically.
+subsampling are elementwise, and the FIR stages run one *pinned-order*
+convolution primitive everywhere (see below).
+
+Pinned-order FIR
+----------------
+
+The FIR stages used to keep ``np.convolve`` per row because its inner
+accumulation order (a BLAS dot under the hood) is implementation-
+defined, which made the scalar path itself the only spec.  That is
+exactly why it had to go: a build-dependent sum order can never be
+matched by a compiled batch kernel — or by another BLAS.  The stages
+now accumulate each 'same'-aligned output sample in an *explicitly
+pinned* ascending-tap order over the zero-padded row,
+
+    y[i] = ((0 + taps[0]*x[i+s]) + taps[1]*x[i+s-1]) + ...
+
+which two independent implementations transcribe exactly:
+:func:`fir_same_pinned` here (a tap-outer NumPy loop whose per-element
+left fold is that sum tree, usable with no compiler anywhere) and the
+threaded ``repro_fir_batch`` entry of the engine kernel
+(:func:`repro.engine.native.fir_batch_native`, used whenever the
+kernel is available).  C and NumPy are bit-identical to each other on
+every platform — a stronger exactness property than the np.convolve
+path ever had, and the per-row Python convolution loop in matrix
+sweeps is gone.  Against ``np.convolve`` itself the pinned order
+agrees to a few ULPs (guarded differentially in
+``tests/test_dsp_filters_decimate.py``), differing only where BLAS
+multi-accumulator dots reassociate.
 """
 
 from __future__ import annotations
@@ -95,9 +119,72 @@ class CicDecimator:
         return x / self.gain
 
 
+def fir_same_pinned(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Pinned-order 'same'-aligned FIR of every row of ``x``.
+
+    The portable transcription of the kernel's ``repro_fir_batch``:
+    each output sample accumulates ``taps[0]`` first and ``taps[-1]``
+    last over the zero-padded row, so the per-element sum tree is a
+    plain left fold — the tap-outer loop below performs exactly that
+    fold element-wise, making this bit-identical to the C kernel on
+    every platform (zero-padded terms included: both sides accumulate
+    them rather than skip, which keeps IEEE signed zeros identical for
+    the exactly-zero samples the fs/4 mixer produces).
+
+    Output is aligned and shaped like ``np.convolve(row, taps,
+    "same")`` — ``(rows, max(samples, taps))`` — and matches it to a
+    few ULPs; bitwise it matches only the pinned order.
+
+    Args:
+        x: ``(rows, samples)`` real matrix.
+        taps: 1-D filter taps.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a (rows, samples) matrix, got shape {x.shape}")
+    taps = np.asarray(taps, dtype=np.float64)
+    n, m = x.shape[1], taps.size
+    if m == 0:
+        raise ValueError("taps must be non-empty")
+    out_n = max(n, m)
+    if x.shape[0] == 0:
+        return np.empty((0, out_n))
+    if n == 0:
+        raise ValueError("samples cannot be empty")  # as np.convolve
+    # 'same' alignment: y[i] = full[i + start], start = (min(n,m)-1)//2.
+    s0 = (min(n, m) - 1) // 2 + m - 1
+    padded = np.zeros((x.shape[0], out_n + s0))
+    padded[:, m - 1 : m - 1 + n] = x
+    out = np.zeros((x.shape[0], out_n))
+    for k in range(m):
+        out += taps[k] * padded[:, s0 - k : s0 - k + out_n]
+    return out
+
+
+def _fir_rows(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Pinned-order FIR rows via the kernel when available.
+
+    Kernel and transcription are bit-identical, so this dispatch is
+    pure throughput policy.  Imported lazily: the engine package
+    imports the receiver stack, which imports this module.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 2 and x.shape[0] > 0 and x.shape[1] > 0:
+        from repro.engine import native
+
+        if native.kernel_available():
+            return native.fir_batch_native(x, taps)
+    return fir_same_pinned(x, taps)
+
+
 @dataclass
 class FirDecimator:
-    """Direct-form FIR filter followed by subsampling."""
+    """Direct-form FIR filter followed by subsampling.
+
+    Both entry points run the pinned-order convolution (module
+    docstring): :meth:`process` as a one-row matrix, so scalar and
+    matrix paths are bit-identical by construction.
+    """
 
     taps: np.ndarray
     rate: int = 1
@@ -109,27 +196,33 @@ class FirDecimator:
 
     def process(self, samples: np.ndarray) -> np.ndarray:
         """Filter then keep every ``rate``-th sample ('same' alignment)."""
-        y = np.convolve(samples, self.taps, mode="same")
+        x = np.asarray(samples)
+        if np.iscomplexobj(x):
+            y = self._filter(x.real[None, :])[0] + 1j * self._filter(
+                x.imag[None, :]
+            )[0]
+        else:
+            y = self._filter(x[None, :])[0]
         return y[:: self.rate]
 
     def process_matrix(self, samples: np.ndarray) -> np.ndarray:
         """Row-wise :meth:`process` of a ``(keys, samples)`` matrix.
 
-        The convolution stays ``np.convolve`` per row — its inner
-        accumulation order is implementation-defined (BLAS dot), so no
-        re-ordered whole-matrix formulation is guaranteed bit-identical
-        to the scalar path.  Everything around it (stacking, 'same'
-        alignment, subsampling) is batched.
+        One pinned-order batch convolution covers every key (threaded
+        in the kernel path) — the per-row ``np.convolve`` Python loop
+        this method used to carry is gone.
         """
         x = np.asarray(samples)
         if x.ndim != 2:
             raise ValueError(f"expected a (keys, samples) matrix, got shape {x.shape}")
-        if x.shape[0] == 0:
-            out_n = max(x.shape[1], self.taps.size)  # np.convolve 'same'
-            dtype = np.result_type(x.dtype, self.taps.dtype)
-            return np.empty((0, out_n), dtype=dtype)[:, :: self.rate]
-        y = np.stack([np.convolve(row, self.taps, mode="same") for row in x])
+        if np.iscomplexobj(x):
+            y = self._filter(x.real) + 1j * self._filter(x.imag)
+        else:
+            y = self._filter(x)
         return y[:, :: self.rate]
+
+    def _filter(self, x: np.ndarray) -> np.ndarray:
+        return _fir_rows(x, self.taps)
 
 
 @dataclass

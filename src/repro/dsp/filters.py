@@ -5,6 +5,10 @@ The receiver decimates the 1-bit fs/4 band-pass bitstream by the OSR
 uses a CIC first stage, a CIC droop-compensation FIR, and half-band
 stages, all designed here from first principles (windowed-sinc), with a
 frequency-response evaluator for verification.
+
+Designed taps are *applied* through the pinned-order FIR path in
+:mod:`repro.dsp.decimate` (C kernel and NumPy transcription,
+bit-identical to each other), not through ``np.convolve``.
 """
 
 from __future__ import annotations

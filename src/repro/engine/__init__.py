@@ -52,9 +52,19 @@ untouched, so the thread count cannot change any result —
 safe (the campaign worker pools fork): no threading runtime outlives a
 call — the reason this is pthreads, not OpenMP.
 ``REPRO_ENGINE_THREADS`` pins the count (unset = one thread per core,
-resolved per kernel call); ``REPRO_ENGINE_DISABLE_KERNEL`` reports the
-kernel unavailable, forcing the reference fallback — the CI leg that
-keeps the no-compiler path green.
+resolved per kernel call, clamped to the kernel's 64-helper team
+bound); ``REPRO_ENGINE_DISABLE_KERNEL`` reports the kernel
+unavailable, forcing the reference fallback — the CI leg that keeps
+the no-compiler path green.
+
+Within each thread the kernel has a third, SIMD axis: 2/4-wide vector
+lanes advance that many uniform-mode keys per time step through a
+transposed key-inner layout, with per-lane arithmetic in the exact
+reference operand order and the scalar libm ``tanh`` applied per lane
+— so lane width, like thread count, is pure throughput policy and
+0/2/4-lane runs are bit-identical.  ``REPRO_ENGINE_SIMD`` pins the
+width (unset/``auto`` = runtime detection, ``0`` forces the scalar
+walk — the CI force-off leg).
 
 The backends are *bit-exact* (same ``ModulatorResult.output``, ``bits``
 and ``tank_voltage`` arrays): they read identical precomputed inputs,
@@ -136,6 +146,9 @@ from repro.engine.engine import (
 )
 from repro.engine.native import (
     kernel_available,
+    kernel_max_threads,
+    kernel_simd_lanes,
+    kernel_simd_width,
     kernel_threaded,
     kernel_threads,
     usable_cpus,
@@ -158,6 +171,9 @@ __all__ = [
     "discretise_tank",
     "get_default_engine",
     "kernel_available",
+    "kernel_max_threads",
+    "kernel_simd_lanes",
+    "kernel_simd_width",
     "kernel_threaded",
     "kernel_threads",
     "set_default_backend",

@@ -36,10 +36,32 @@ OpenMP parent would deadlock in the orphaned runtime — which is why
 this is pthreads and not OpenMP.  The count is resolved per call from
 ``REPRO_ENGINE_THREADS`` (unset means one thread per online core,
 ``1`` forces the sequential walk); toolchains without pthreads compile
-the plain sequential kernel with the identical ABI.  Setting
-``REPRO_ENGINE_DISABLE_KERNEL`` reports the kernel unavailable, which
-forces the no-compiler reference fallback everywhere — the CI leg that
-keeps that path green.
+the plain sequential kernel with the identical ABI.  The kernel's
+worker team is bounded at 64 helper threads plus the calling thread
+(``repro_kernel_max_threads``): larger requests are clamped once up
+front inside the kernel, never silently dropped mid-spawn, so asking
+for 10_000 threads is safe and merely redundant (covered in
+``tests/test_engine.py``).  Setting ``REPRO_ENGINE_DISABLE_KERNEL``
+reports the kernel unavailable, which forces the no-compiler reference
+fallback everywhere — the CI leg that keeps that path green.
+
+SIMD lane axis
+--------------
+
+Within one thread, the kernel can advance 2 or 4 uniform-mode keys per
+time step with GNU vector extensions (the transposed key-inner layout
+in ``_kernel.c``).  Per-lane arithmetic keeps the exact reference
+operand order and ``tanh`` is the same scalar libm call applied per
+lane, so lane width can never change a result — 0/2/4-lane runs are
+bit-identical (guarded in ``tests/test_engine.py``).
+``REPRO_ENGINE_SIMD`` picks the width per call: unset (or ``auto``)
+lets the kernel detect the widest supported lanes (AVX-class hosts get
+4, baseline x86-64 gets 2), ``0`` or ``1`` forces the scalar walk (the
+CI force-off leg), ``2``/``4`` force a width.  Anything else raises.
+
+The pinned-order batch FIR (``repro_fir_batch``) shares the cache,
+clamped worker-team model and exactness contract; see
+:func:`fir_batch_native` and :mod:`repro.dsp.decimate`.
 """
 
 from __future__ import annotations
@@ -140,9 +162,15 @@ def _build_one(flags: tuple[str, ...]) -> ctypes.CDLL | None:
         _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
         _DOUBLE_P,
         _DOUBLE_PP, _DOUBLE_PP, _DOUBLE_PP,
-        ctypes.c_int,
+        ctypes.c_int, ctypes.c_int,
     ]
     lib.repro_simulate_batch.restype = None
+    lib.repro_fir_batch.argtypes = [
+        ctypes.c_int, ctypes.c_int, _DOUBLE_PP,
+        ctypes.c_int, _DOUBLE_P,
+        _DOUBLE_PP, ctypes.c_int,
+    ]
+    lib.repro_fir_batch.restype = ctypes.c_int
     return lib
 
 
@@ -219,6 +247,61 @@ def kernel_threads() -> int:
     return n
 
 
+def kernel_simd_lanes() -> int:
+    """Resolve the SIMD lane width from ``REPRO_ENGINE_SIMD``.
+
+    Returns -1 when the variable is unset or ``auto`` — the kernel then
+    detects the widest lanes the build and host support.  ``0`` and
+    ``1`` both force the scalar walk, ``2`` and ``4`` force that width.
+    Any other value raises.  Width is pure throughput policy: results
+    are bit-identical at every setting.  Read per call, like
+    :func:`kernel_threads`.
+    """
+    raw = os.environ.get("REPRO_ENGINE_SIMD")
+    if raw is None or raw.strip() in ("", "auto"):
+        return -1
+    try:
+        n = int(raw)
+    except ValueError:
+        n = -1
+    if n not in (0, 1, 2, 4):
+        raise ValueError(
+            f"REPRO_ENGINE_SIMD must be auto/0/1/2/4 "
+            f"(or unset for auto-detection), got {raw!r}"
+        )
+    return 0 if n == 1 else n
+
+
+def kernel_simd_width() -> int:
+    """Lane width the loaded kernel auto-detects for this host.
+
+    4 on AVX-class x86-64, 2 on baseline hosts, 0 when the build had no
+    vector extensions or no kernel is available.  This is what
+    ``REPRO_ENGINE_SIMD=auto`` resolves to inside the kernel.
+    """
+    if not kernel_available():
+        return 0
+    try:
+        return int(_lib.repro_kernel_simd_width())
+    except AttributeError:  # pragma: no cover - stale pre-SIMD library
+        return 0
+
+
+def kernel_max_threads() -> int:
+    """Hard bound on the kernel's per-call worker team (incl. caller).
+
+    ``n_threads`` requests above this are clamped up front inside the
+    kernel — the fixed-size helper array can never overflow and no
+    request is silently truncated mid-spawn.
+    """
+    if not kernel_available():
+        return 1
+    try:
+        return int(_lib.repro_kernel_max_threads())
+    except AttributeError:  # pragma: no cover - stale library
+        return 1
+
+
 def _pointer_array(arrays: Sequence[np.ndarray]) -> ctypes.Array:
     ptrs = (_DOUBLE_P * len(arrays))()
     for i, a in enumerate(arrays):
@@ -250,7 +333,7 @@ def simulate_plans_native(plans: Sequence[KeyPlan]) -> list[ModulatorResult]:
         _pointer_array(comp_noise_out), _pointer_array(dither),
         params.ctypes.data_as(_DOUBLE_P),
         _pointer_array(output), _pointer_array(bits), _pointer_array(tank_v),
-        kernel_threads(),
+        kernel_threads(), kernel_simd_lanes(),
     )
     return [
         ModulatorResult(
@@ -262,3 +345,44 @@ def simulate_plans_native(plans: Sequence[KeyPlan]) -> list[ModulatorResult]:
         )
         for k in range(n_keys)
     ]
+
+
+def fir_batch_native(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Pinned-order batch FIR over a ``(rows, samples)`` matrix.
+
+    Runs ``repro_fir_batch``: 'same'-aligned convolution of every row
+    with ``taps``, accumulated in explicitly ascending tap order over
+    the zero-padded row, rows threaded like the integrator's key axis
+    (thread count from ``REPRO_ENGINE_THREADS``, clamped to the
+    64-helper team bound).  The accumulation order is the whole point:
+    it makes the result platform-pinned and bit-identical to the
+    pure-NumPy transcription in :func:`repro.dsp.decimate.fir_same_pinned`,
+    where ``np.convolve``'s BLAS dot ordering is build-dependent.
+    Output shape is ``(rows, max(samples, taps))`` — ``np.convolve``'s
+    'same' semantics when the taps outnumber the samples.
+    """
+    if not kernel_available():
+        raise RuntimeError("compiled kernel unavailable on this machine")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a (rows, samples) matrix, got {x.shape}")
+    taps = np.ascontiguousarray(taps, dtype=np.float64)
+    if taps.ndim != 1 or taps.size == 0:
+        raise ValueError("taps must be a non-empty 1-D array")
+    n_rows, n_in = x.shape
+    out_n = max(n_in, taps.size)
+    if n_rows == 0:
+        return np.empty((0, out_n))
+    if n_in == 0:
+        raise ValueError("samples cannot be empty")  # as np.convolve
+    rows = [np.ascontiguousarray(x[r]) for r in range(n_rows)]
+    out = np.empty((n_rows, out_n))
+    out_rows = [out[r] for r in range(n_rows)]
+    rc = _lib.repro_fir_batch(
+        n_rows, n_in, _pointer_array(rows),
+        taps.size, taps.ctypes.data_as(_DOUBLE_P),
+        _pointer_array(out_rows), kernel_threads(),
+    )
+    if rc != 0:  # pragma: no cover - scratch allocation failure
+        raise MemoryError("repro_fir_batch could not allocate scratch")
+    return out

@@ -13,7 +13,12 @@ interpreted per-key loop, on top of batching away Python call overhead).
 A NumPy-ufunc formulation of the same key-axis recursion was measured
 first and rejected: with ~0.5 µs of dispatch overhead per elementwise
 op and ~14 ops per substep, it loses to the scalar loop below ~30 keys
-— the regime every quick-mode sweep lives in.
+— the regime every quick-mode sweep lives in.  Inside the kernel the
+key axis is exploited twice more: pthread workers split keys across
+cores, and within each worker 2/4-wide SIMD lanes advance uniform-mode
+key packs together (``REPRO_ENGINE_SIMD``; per-lane reference operand
+order and per-lane libm ``tanh``, so lane width never changes a bit —
+see :mod:`repro.engine.native`).
 
 Bit-exactness with the reference backend is by construction (shared
 :class:`~repro.engine.plan.KeyPlan` inputs, identical operand order,

@@ -15,7 +15,10 @@ chain of :mod:`repro.dsp.decimate`.
 Key sweeps go through :meth:`DigitalChain.process_matrix`: the slicer,
 mixer and decimators all take the whole ``(keys, samples)`` batch in one
 pass (the engine's ``run_receiver`` routes batched requests through it),
-with per-key rows bit-identical to :meth:`DigitalChain.process`.
+with per-key rows bit-identical to :meth:`DigitalChain.process`.  The
+FIR stages inside run the pinned-order batch convolution (C kernel with
+a bit-identical NumPy fallback — see :mod:`repro.dsp.decimate`), so no
+per-row Python loop survives anywhere in the matrix path.
 """
 
 from __future__ import annotations

@@ -45,6 +45,50 @@ class TestMetering:
         assert not is_oscillating(rng.normal(0, 0.015, 2048), 1e9)
 
 
+class TestBatchedFrequencyMeter:
+    """oscillation_frequency_batch == the scalar meter, record by record.
+
+    The fleet calibrator's lockstep rounds decode every active die's
+    frequency probe through one batched call; the batch must reproduce
+    the scalar meter bit for bit — gates (silence, noise) included —
+    over mixed record lengths and mixed clock rates.
+    """
+
+    def _records(self, rng):
+        records, rates = [], []
+        for i in range(6):
+            n = 4096 if i % 2 == 0 else 2048
+            fs = 1e9 * (i + 1)
+            if i == 2:
+                x = np.zeros(n)  # silence -> None via the RMS gate
+            elif i == 4:
+                x = rng.normal(0, 0.1, n)  # noise -> concentration gate
+            else:
+                x = sine(n, fs, fs / 7.3, 0.3) + rng.normal(0, 1e-3, n)
+            records.append(x)
+            rates.append(fs)
+        return records, rates
+
+    def test_bit_identical_to_scalar_meter(self, rng):
+        records, rates = self._records(rng)
+        batch = metering.oscillation_frequency_batch(records, rates)
+        for record, fs, got in zip(records, rates, batch):
+            expected = metering.oscillation_frequency(record, fs)
+            assert got == expected or (got is None and expected is None)
+
+    def test_scalar_rate_broadcasts(self, rng):
+        records = [sine(2048, 1e9, 1.3e8, 0.3) for _ in range(3)]
+        batch = metering.oscillation_frequency_batch(records, 1e9)
+        assert batch == [metering.oscillation_frequency(r, 1e9) for r in records]
+
+    def test_rate_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="2 rates for 1 records"):
+            metering.oscillation_frequency_batch([np.zeros(64)], [1e9, 2e9])
+
+    def test_empty_batch(self):
+        assert metering.oscillation_frequency_batch([], []) == []
+
+
 class TestCoordinateDescent:
     def test_finds_separable_optimum(self):
         target = {"gmin_code": 37, "dac_code": 11, "preamp_code": 5}

@@ -1,4 +1,10 @@
-"""FIR design and decimation-chain tests."""
+"""FIR design and decimation-chain tests, including the pinned-order
+FIR exactness contract: the C kernel's ``repro_fir_batch`` and the
+pure-NumPy transcription must be bit-identical to each other on every
+shape, and both must agree with ``np.convolve`` numerically (bitwise
+equality with np.convolve is NOT promised — its accumulation order is
+a build-dependent BLAS dot, which is exactly why the pinned order
+replaced it)."""
 
 import numpy as np
 import pytest
@@ -15,7 +21,9 @@ from repro.dsp import (
     periodogram,
     sine,
 )
+from repro.dsp.decimate import fir_same_pinned
 from repro.dsp.tones import coherent_frequency
+from repro.engine import kernel_available
 
 
 class TestFirDesign:
@@ -200,3 +208,107 @@ class TestMatrixEquivalence:
             FirDecimator(taps=design_halfband(31)).process_matrix(np.zeros(8))
         with pytest.raises(ValueError):
             CicDecimator(rate=4).process_matrix(np.zeros((2, 3, 4)))
+
+
+#: Shapes covering the pinned-FIR branch structure: plain batches, rows
+#: shorter than the taps (the out_n = max(n, m) branch), single-sample
+#: rows, n == m, and row counts odd against the kernel's SIMD/thread
+#: splits.
+FIR_SHAPES = [
+    (1, 256), (4, 255), (16, 512), (3, 77),
+    (3, 7),    # taps longer than the sample row
+    (5, 1),    # single-sample rows
+    (2, 31),   # row length == tap count
+    (7, 64),   # odd row count
+]
+
+
+class TestPinnedFir:
+    """The pinned-order FIR primitive itself (module docstring)."""
+
+    def rows(self, n_rows, n_samples, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n_rows, n_samples))
+
+    @pytest.mark.parametrize("shape", FIR_SHAPES)
+    @pytest.mark.parametrize("n_taps", [31, 33])
+    def test_matches_np_convolve_shape_and_values(self, shape, n_taps):
+        """Same 'same' alignment and output shape as np.convolve, equal
+        to a few ULPs (bitwise only the pinned order is promised)."""
+        taps = (
+            design_halfband(n_taps)
+            if n_taps % 4 == 3
+            else design_cic_compensator(n_taps, 4, 16)
+        )
+        x = self.rows(*shape)
+        got = fir_same_pinned(x, taps)
+        expected = np.stack(
+            [np.convolve(row, taps, mode="same") for row in x]
+        )
+        assert got.shape == expected.shape
+        np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-15)
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: transcription only"
+    )
+    @pytest.mark.parametrize("shape", FIR_SHAPES)
+    def test_kernel_bit_identical_to_transcription(self, shape):
+        """C kernel == NumPy transcription, bit for bit, every shape."""
+        from repro.engine.native import fir_batch_native
+
+        taps = design_halfband(31)
+        x = self.rows(*shape, seed=3)
+        a = fir_same_pinned(x, taps)
+        b = fir_batch_native(x, taps)
+        assert np.array_equal(a, b)
+        # Signed zeros too: the fs/4 mixer makes exact zeros routine.
+        assert np.array_equal(np.signbit(a), np.signbit(b))
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: nothing to thread"
+    )
+    def test_kernel_thread_count_invariance(self, monkeypatch):
+        from repro.engine.native import fir_batch_native
+
+        taps = design_cic_compensator(33, 4, 16)
+        x = self.rows(16, 512, seed=5)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "1")
+        one = fir_batch_native(x, taps)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "4")
+        four = fir_batch_native(x, taps)
+        assert np.array_equal(one, four)
+
+    def test_exact_zero_runs_keep_signed_zero_semantics(self):
+        """Zero-padded and exactly-zero terms are accumulated, never
+        skipped — mixer-style zero lattices must round-trip both
+        implementations identically."""
+        taps = design_halfband(31)
+        x = np.zeros((2, 64))
+        x[:, ::2] = self.rows(2, 32, seed=9)
+        a = fir_same_pinned(x, taps)
+        if kernel_available():
+            from repro.engine.native import fir_batch_native
+
+            b = fir_batch_native(x, taps)
+            assert np.array_equal(a, b)
+            assert np.array_equal(np.signbit(a), np.signbit(b))
+
+    def test_empty_batch_and_empty_rows(self):
+        taps = design_halfband(31)
+        out = fir_same_pinned(np.empty((0, 128)), taps)
+        assert out.shape == (0, 128)
+        # Taps dominate the empty batch's output length too.
+        assert fir_same_pinned(np.empty((0, 7)), taps).shape == (0, 31)
+        with pytest.raises(ValueError):
+            fir_same_pinned(np.empty((2, 0)), taps)
+        with pytest.raises(ValueError):
+            fir_same_pinned(np.zeros((2, 8)), np.empty(0))
+
+    def test_taps_longer_than_row_through_decimator(self):
+        """FirDecimator end to end on the out_n = max(n, m) branch."""
+        fir = FirDecimator(taps=design_halfband(31), rate=2)
+        x = self.rows(3, 7, seed=11)
+        out = fir.process_matrix(x)
+        assert out.shape == (3, 16)  # 31-long 'same' output, rate 2
+        for row, got in zip(x, out):
+            assert np.array_equal(fir.process(row), got)

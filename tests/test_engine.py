@@ -18,6 +18,9 @@ from repro.engine import (
     SimulationEngine,
     get_default_engine,
     kernel_available,
+    kernel_max_threads,
+    kernel_simd_lanes,
+    kernel_simd_width,
     kernel_threaded,
     kernel_threads,
     set_default_backend,
@@ -351,6 +354,128 @@ class TestKernelThreading:
             sums = pool.map(_threaded_child_checksums, [requests] * 2)
         expected = [float(r.output.sum()) for r in parent]
         assert sums[0] == expected and sums[1] == expected
+
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: nothing to clamp"
+    )
+    def test_many_threads_requested_is_clamped_not_broken(
+        self, chip, rng, monkeypatch
+    ):
+        """Requests far beyond the kernel's worker-team bound must be
+        clamped up front (never silently truncated mid-spawn) and stay
+        bit-identical to the sequential walk."""
+        assert kernel_max_threads() == 65
+        requests = _mixed_mode_requests(rng)[:4]
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "1")
+        one = SimulationEngine(backend="vectorized").run(chip, requests)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "10000")
+        many = SimulationEngine(backend="vectorized").run(chip, requests)
+        for a, b in zip(one, many):
+            assert np.array_equal(a.output, b.output)
+            assert np.array_equal(a.bits, b.bits)
+            assert np.array_equal(a.tank_voltage, b.tank_voltage)
+
+
+def _uniform_mode_requests(rng, n_keys):
+    """One loop topology, per-key data varying — consecutive keys are
+    lane-packable, so the SIMD path actually engages (mode changes and
+    remainders fall back to the scalar walk)."""
+    base = ConfigWord(
+        lna_gain=7, cc_coarse=10, cf_fine=128, gmq_code=20, gmin_code=24,
+        preamp_code=20, comp_code=31, dac_code=32, delay_code=12,
+        buffer_code=4,
+    )
+    stim = _stim()
+    return [
+        ModulatorRequest(
+            config=base.replace(
+                dac_code=int(rng.integers(1, 63)),
+                gmq_code=int(rng.integers(1, 40)),
+            ),
+            stimulus=stim, fs=STD.fs, n_samples=N, seed=k,
+        )
+        for k in range(n_keys)
+    ]
+
+
+class TestKernelSimd:
+    """The kernel's SIMD lane axis: width invariance and env plumbing.
+
+    Lane width is pure throughput policy — per-lane arithmetic keeps
+    the reference operand order and tanh is the scalar libm call per
+    lane — so every width must reproduce the reference backend bit for
+    bit, across thread counts and key counts that do not divide the
+    lane width (remainders and mode changes take the scalar walk).
+    """
+
+    WIDTHS = ("0", "1", "2", "4", "auto")
+
+    def _run_all_widths(self, chip, requests, monkeypatch):
+        results = {}
+        for width in self.WIDTHS:
+            monkeypatch.setenv("REPRO_ENGINE_SIMD", width)
+            results[width] = SimulationEngine(backend="vectorized").run(
+                chip, requests
+            )
+        return results
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: no lane path to test"
+    )
+    @pytest.mark.parametrize("threads", ["1", "4"])
+    def test_lane_width_invariance_mixed_modes(
+        self, chip, rng, monkeypatch, threads
+    ):
+        """Every width x thread count equals the reference backend on a
+        batch covering every loop topology."""
+        requests = _mixed_mode_requests(rng)
+        ref = SimulationEngine(backend="reference").run(chip, requests)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", threads)
+        for width, out in self._run_all_widths(
+            chip, requests, monkeypatch
+        ).items():
+            for i, (a, b) in enumerate(zip(ref, out)):
+                tag = f"SIMD={width}, threads={threads}, key {i}"
+                assert np.array_equal(a.output, b.output), tag
+                assert np.array_equal(a.bits, b.bits), tag
+                assert np.array_equal(a.tank_voltage, b.tank_voltage), tag
+
+    @pytest.mark.skipif(
+        not kernel_available(), reason="no C compiler: no lane path to test"
+    )
+    @pytest.mark.parametrize("n_keys", [1, 2, 3, 5, 7, 9])
+    def test_lane_width_invariance_odd_key_counts(
+        self, chip, rng, monkeypatch, n_keys
+    ):
+        """Key counts that do not divide the lane width: full packs run
+        the lane path, stragglers the scalar walk, results identical."""
+        requests = _uniform_mode_requests(rng, n_keys)
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "1")
+        results = self._run_all_widths(chip, requests, monkeypatch)
+        for width in self.WIDTHS[1:]:
+            for a, b in zip(results["0"], results[width]):
+                assert np.array_equal(a.output, b.output), f"SIMD={width}"
+                assert np.array_equal(a.tank_voltage, b.tank_voltage)
+
+    def test_kernel_simd_lanes_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_SIMD", raising=False)
+        assert kernel_simd_lanes() == -1  # auto-detect in the kernel
+        for raw, expected in (
+            ("auto", -1), ("", -1), ("0", 0), ("1", 0), ("2", 2), ("4", 4),
+        ):
+            monkeypatch.setenv("REPRO_ENGINE_SIMD", raw)
+            assert kernel_simd_lanes() == expected
+        for bad in ("3", "8", "-1", "wide", "2.0"):
+            monkeypatch.setenv("REPRO_ENGINE_SIMD", bad)
+            with pytest.raises(ValueError, match="REPRO_ENGINE_SIMD"):
+                kernel_simd_lanes()
+
+    def test_kernel_simd_width_reports_sane_value(self, monkeypatch):
+        assert kernel_simd_width() in (0, 2, 4)
+        monkeypatch.setenv("REPRO_ENGINE_DISABLE_KERNEL", "1")
+        assert kernel_simd_width() == 0
+        assert kernel_max_threads() == 1
 
 
 def _threaded_child_checksums(requests):

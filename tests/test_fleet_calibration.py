@@ -138,7 +138,19 @@ class TestFleetDeadDie:
                 return None
             return _REAL_METER(samples, fs)
 
+        def flaky_batch(records, fs):
+            # The fleet's fused decode meters records in the same
+            # active-die order the per-probe decodes ran in, so
+            # injecting per record here keeps the failure point
+            # identical to the scalar meter's.
+            records = list(records)
+            fss = [fs] * len(records) if not hasattr(fs, "__len__") else fs
+            return [flaky(r, f) for r, f in zip(records, fss)]
+
         monkeypatch.setattr(metering, "oscillation_frequency", flaky)
+        monkeypatch.setattr(
+            metering, "oscillation_frequency_batch", flaky_batch
+        )
 
     def test_mid_bisection_death_raises_typed_failure(self, monkeypatch):
         self._kill_after(monkeypatch, 3)
