@@ -31,6 +31,30 @@ class QueryBudgetExceeded(RuntimeError):
     """The attack spent its measurement budget without succeeding."""
 
 
+#: Process-wide tenant meter every oracle charges through (see
+#: :func:`install_tenant_meter`).  None outside a tenanted deployment.
+_TENANT_METER = None
+
+
+def install_tenant_meter(meter) -> None:
+    """Install (or, with None, remove) the process-wide tenant meter.
+
+    The foundry daemon's fleet workers install their current job's
+    :class:`~repro.service.tenants.TenantMeter` before running a task;
+    every oracle charge in the process then writes through both the
+    oracle's own budget and the tenant's quota — atomically, so a
+    refusal by either leaves *both* un-advanced.  Any object with a
+    ``charge_batch(n)`` raising :class:`QueryBudgetExceeded` works.
+    """
+    global _TENANT_METER
+    _TENANT_METER = meter
+
+
+def current_tenant_meter():
+    """The installed process-wide tenant meter, or None."""
+    return _TENANT_METER
+
+
 @dataclass
 class MeasurementOracle:
     """A working chip on the attacker's bench.
@@ -64,6 +88,11 @@ class MeasurementOracle:
         ``elapsed_seconds`` untouched (a mid-chunk raise used to leave
         them partially advanced), at exactly the query count where the
         sequential oracle refuses its first over-budget measurement.
+
+        When a process-wide tenant meter is installed (a multi-tenant
+        daemon deployment, :func:`install_tenant_meter`), the chunk is
+        additionally checked against the tenant's quota; a refusal by
+        either budget leaves both meters un-advanced.
         """
         if n < 0:
             raise ValueError(f"cannot charge a negative batch, got {n}")
@@ -72,6 +101,8 @@ class MeasurementOracle:
                 f"budget of {self.max_queries} measurements exhausted "
                 f"({self.n_queries} spent, {n} more requested)"
             )
+        if _TENANT_METER is not None:
+            _TENANT_METER.charge_batch(n)  # raises with both un-advanced
         self.n_queries += n
         self.elapsed_seconds += n * seconds_each
 

@@ -212,6 +212,25 @@ class CalibrationStore:
         except OSError:
             pass
 
+    def clear_locks(self) -> int:
+        """Sweep every ``get_or_set`` lock file in the store; returns
+        how many were removed.
+
+        The whole-store analogue of :meth:`clear_lock`, for callers
+        that know no live holder can exist in the *entire* directory —
+        the foundry daemon runs it at startup over its store root,
+        before any worker of the new fleet exists, so a killed daemon's
+        lock debris never stalls the next one.
+        """
+        removed = 0
+        for lock in self.path.glob("cal-*.lock"):
+            try:
+                lock.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("cal-*.pkl"))
 

@@ -51,10 +51,17 @@ from repro.service.jobs import (
 )
 from repro.service.journal import JobJournal, cells_fingerprint
 from repro.service.service import FoundryService, JobHandle
+from repro.service.protocol import SERVICE_SOCKET_ENV, SERVICE_TENANT_ENV
+from repro.service.tenants import TenantConfig, TenantMeter, parse_tenant_spec
+from repro.service.client import DaemonClient, RemoteJobHandle
+from repro.service.daemon import DaemonUnavailable, FoundryDaemon, WorkerFleet
 
 __all__ = [
     "CampaignJob",
+    "DaemonClient",
+    "DaemonUnavailable",
     "ExperimentJob",
+    "FoundryDaemon",
     "FoundryService",
     "JobCancelled",
     "JobFailed",
@@ -63,10 +70,17 @@ __all__ = [
     "JobStatus",
     "JournalMismatch",
     "ProvisioningJob",
+    "RemoteJobHandle",
     "SCHEDULERS",
+    "SERVICE_SOCKET_ENV",
+    "SERVICE_TENANT_ENV",
     "SERVICE_WORKERS_ENV",
     "TaskEvent",
+    "TenantConfig",
+    "TenantMeter",
+    "WorkerFleet",
     "cells_fingerprint",
     "default_worker_count",
+    "parse_tenant_spec",
     "validate_worker_count",
 ]

@@ -1,0 +1,171 @@
+"""``python -m repro.service`` — the foundry daemon's command line.
+
+Subcommands::
+
+    serve   run a daemon:  python -m repro.service serve --root RUNDIR \\
+                [--socket ADDR] [--workers N] [--tenant name=prio:quota]...
+    submit  submit a pickled job and stream its events:
+            python -m repro.service submit --job job.pkl [--out result.pkl]
+    status  daemon stats, or one job's status:
+            python -m repro.service status [JOB_ID]
+    drain   finish every admitted job, then shut the daemon down:
+            python -m repro.service drain [--timeout S] [--no-shutdown]
+
+The daemon address resolves ``--socket``, then ``REPRO_SERVICE_SOCKET``
+(serve also falls back to ``<root>/daemon.sock``); the submitting
+tenant resolves ``--tenant``, then ``REPRO_SERVICE_TENANT``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.daemon import FoundryDaemon
+    from repro.service.tenants import parse_tenant_spec
+
+    daemon = FoundryDaemon(
+        root=args.root,
+        socket=args.socket,
+        n_workers=args.workers,
+        tenants=[parse_tenant_spec(spec) for spec in args.tenant],
+        scheduler=args.scheduler,
+        max_active=args.max_active,
+    )
+    print(
+        f"repro-daemon: serving on {daemon.address} "
+        f"({daemon.fleet.n_workers} workers, root {daemon.root})",
+        flush=True,
+    )
+    daemon.run()
+    print("repro-daemon: stopped", flush=True)
+    return 0
+
+
+def _client(args):
+    from repro.service.client import DaemonClient
+
+    return DaemonClient(
+        socket=args.socket, tenant=getattr(args, "tenant", None)
+    )
+
+
+def _cmd_submit(args) -> int:
+    with open(args.job, "rb") as fh:
+        job = pickle.load(fh)
+    client = _client(args)
+    handle = client.submit(job, job_id=args.job_id)
+    print(f"job {handle.job_id} submitted as tenant {client.tenant!r}",
+          flush=True)
+    try:
+        for event in handle.stream():
+            print(f"  [{event.kind}] {event.label} ({event.seconds:.2f}s)",
+                  flush=True)
+        result = handle.result()
+    except Exception as exc:
+        print(f"job {handle.job_id} failed: {exc}", file=sys.stderr)
+        return 1
+    status = handle.status().value
+    print(f"job {handle.job_id} {status}", flush=True)
+    if args.out:
+        # Reports are the deterministic part of a campaign result
+        # (timings are not); pickle them for byte-for-byte comparison.
+        payload = getattr(result, "reports", result)
+        with open(args.out, "wb") as fh:
+            fh.write(pickle.dumps(payload))
+        print(f"result written to {args.out}", flush=True)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.job_id:
+        handle = client.handle(args.job_id)
+        print(handle.status().value)
+        return 0
+    info = client.ping()
+    print(
+        f"daemon pid {info['pid']}: {info['workers']} workers, "
+        f"{info['active']} active of {info['n_jobs']} jobs"
+        + (" (draining)" if info["draining"] else "")
+    )
+    for name, stats in sorted(info["tenants"].items()):
+        quota = stats["max_queries"]
+        print(
+            f"  tenant {name}: priority {stats['priority']}, "
+            f"{stats['n_queries']} queries"
+            + (f" of {quota}" if quota is not None else " (unlimited)")
+        )
+    jobs = client.jobs()["jobs"]
+    for job_id, record in sorted(jobs.items()):
+        print(
+            f"  job {job_id} [{record['tenant']}]: {record['status']} "
+            f"({record['n_events']} events)"
+        )
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    client = _client(args)
+    drained = client.drain(
+        timeout=args.timeout, shutdown=not args.no_shutdown
+    )
+    print("drained" if drained else "drain timed out")
+    return 0 if drained else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Foundry daemon: serve, submit, status, drain.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a foundry daemon")
+    serve.add_argument("--root", required=True,
+                       help="daemon state directory (store, journals, meters)")
+    serve.add_argument("--socket", default=None,
+                       help="listen address: socket path or host:port")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="persistent fleet size "
+                            "(default: REPRO_SERVICE_WORKERS)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME[=PRIO[:QUOTA]]",
+                       help="tenant config (repeatable)")
+    serve.add_argument("--scheduler", default="stealing",
+                       help="default campaign scheduler mode")
+    serve.add_argument("--max-active", type=int, default=None,
+                       help="max concurrently running jobs")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a pickled job")
+    submit.add_argument("--job", required=True,
+                        help="path to a pickled job object")
+    submit.add_argument("--socket", default=None)
+    submit.add_argument("--tenant", default=None)
+    submit.add_argument("--job-id", default=None)
+    submit.add_argument("--out", default=None,
+                        help="write the result's reports as a pickle here")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="daemon or job status")
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--socket", default=None)
+    status.set_defaults(func=_cmd_status)
+
+    drain = sub.add_parser("drain", help="drain and shut down the daemon")
+    drain.add_argument("--socket", default=None)
+    drain.add_argument("--timeout", type=float, default=None)
+    drain.add_argument("--no-shutdown", action="store_true",
+                       help="stop admission and wait, but keep serving")
+    drain.set_defaults(func=_cmd_drain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Client side of the foundry daemon: a network-backed job handle.
+
+:class:`DaemonClient` speaks the :mod:`~repro.service.protocol` frames
+to a running :class:`~repro.service.daemon.FoundryDaemon` and returns a
+:class:`RemoteJobHandle` for each submission — drop-in for the
+in-process :class:`~repro.service.service.JobHandle`: the same
+``stream()`` / ``result(timeout=)`` / ``wait(timeout=)`` / ``status()``
+/ ``cancel()`` surface, the same exceptions
+(:class:`~repro.service.jobs.JobFailed` carrying the worker traceback,
+:class:`~repro.service.jobs.JobCancelled`, :class:`TimeoutError`), the
+same buffer-replay stream contract (every consumer replays the full
+event log from the beginning), and bit-identical results — the wire
+moves pickles, and the daemon differential guard holds a daemon
+campaign byte-for-byte against the in-process service.
+
+The one semantic difference is *who drives*: the daemon runs the job
+whether or not anyone is connected, so ``wait()``/``result()`` here
+block on the daemon instead of driving the executor, and a client
+timeout leaves the job running server-side.
+
+Defaults come from the environment: ``REPRO_SERVICE_SOCKET`` names the
+daemon address, ``REPRO_SERVICE_TENANT`` the tenant to submit under.
+"""
+
+from __future__ import annotations
+
+import os
+import socket as socket_module
+
+from repro.service.jobs import JobCancelled, JobFailed, JobStatus
+from repro.service.protocol import (
+    SERVICE_SOCKET_ENV,
+    SERVICE_TENANT_ENV,
+    connect,
+    decode_payload,
+    default_address,
+    encode_payload,
+    event_from_wire,
+    recv_frame,
+    send_frame,
+)
+
+
+class DaemonUnavailableError(ConnectionError):
+    """The daemon refused the request or went away."""
+
+
+def _raise_for(reply: dict):
+    """Map an error frame to the in-process handle's exception types."""
+    kind = reply.get("kind", "")
+    error = reply.get("error", "daemon request failed")
+    if kind == "JobFailed":
+        raise JobFailed(error)
+    if kind == "JobCancelled":
+        raise JobCancelled(error)
+    if kind == "Timeout":
+        raise TimeoutError(
+            f"job still {reply.get('status', 'running')} "
+            f"({reply.get('n_events', 0)} tasks completed); result() again "
+            f"to keep waiting, cancel() to stop"
+        )
+    if kind == "KeyError":
+        raise KeyError(error)
+    if kind == "DaemonUnavailable":
+        raise DaemonUnavailableError(error)
+    if kind in ("ValueError", "TypeError", "JournalMismatch"):
+        # Up-front validation keeps its in-process exception type, so
+        # submit() misuse reads the same locally and over the wire.
+        raised = {"ValueError": ValueError, "TypeError": TypeError}.get(kind)
+        if raised is None:
+            from repro.service.jobs import JournalMismatch
+
+            raised = JournalMismatch
+        raise raised(error)
+    raise RuntimeError(f"{kind}: {error}" if kind else error)
+
+
+class DaemonClient:
+    """A connection factory to one daemon address.
+
+    Args:
+        socket: Daemon address (Unix socket path or ``host:port``);
+            None resolves ``REPRO_SERVICE_SOCKET``.
+        tenant: Tenant to submit under; None resolves
+            ``REPRO_SERVICE_TENANT`` (default ``"default"``).
+        timeout: Connect timeout, seconds.
+
+    Each request opens its own connection (requests are independent
+    and the daemon serves each connection on its own thread), so one
+    client is safe to share across threads.
+    """
+
+    def __init__(
+        self,
+        socket: str | None = None,
+        tenant: str | None = None,
+        timeout: float = 10.0,
+    ):
+        self.address = socket or default_address()
+        if not self.address:
+            raise ValueError(
+                f"no daemon address: pass socket= or set {SERVICE_SOCKET_ENV}"
+            )
+        self.tenant = tenant or os.environ.get(SERVICE_TENANT_ENV) or "default"
+        self.timeout = timeout
+
+    def _request(self, frame: dict, timeout: float | None = "connect"):
+        """One request/reply round trip on a fresh connection."""
+        sock = connect(self.address, timeout=self.timeout)
+        try:
+            if timeout == "connect":
+                pass  # keep the connect timeout for the reply too
+            else:
+                sock.settimeout(timeout)
+            send_frame(sock, frame)
+            reply = recv_frame(sock)
+        finally:
+            sock.close()
+        if reply is None:
+            raise DaemonUnavailableError(
+                f"daemon at {self.address} closed the connection"
+            )
+        if not reply.get("ok", False):
+            _raise_for(reply)
+        return reply
+
+    def ping(self) -> dict:
+        """Daemon liveness and stats (pid, workers, jobs, tenants)."""
+        return self._request({"op": "ping"})
+
+    def jobs(self) -> dict:
+        """Every job the daemon knows: id -> {tenant, status, n_events}."""
+        return self._request({"op": "jobs"})
+
+    def submit(self, job, job_id: str | None = None) -> "RemoteJobHandle":
+        """Submit ``job`` under this client's tenant; returns a
+        network-backed handle.  Submitting an identical job attaches to
+        the live submission instead of duplicating it."""
+        reply = self._request({
+            "op": "submit",
+            "tenant": self.tenant,
+            "job": encode_payload(job),
+            "job_id": job_id,
+        })
+        return RemoteJobHandle(self, reply["job_id"], job=job)
+
+    def handle(self, job_id: str) -> "RemoteJobHandle":
+        """A handle to an already-submitted job by id."""
+        return RemoteJobHandle(self, job_id)
+
+    def drain(self, timeout: float | None = None, shutdown: bool = True) -> bool:
+        """Stop admission, wait for every job, optionally shut the
+        daemon down; returns False when ``timeout`` elapsed first."""
+        grace = None if timeout is None else timeout + 10.0
+        reply = self._request(
+            {"op": "drain", "timeout": timeout, "shutdown": shutdown},
+            timeout=grace,
+        )
+        return reply["drained"]
+
+
+class RemoteJobHandle:
+    """Drop-in :class:`~repro.service.service.JobHandle` backed by a
+    daemon (see module docstring for the driving-semantics difference)."""
+
+    def __init__(self, client: DaemonClient, job_id: str, job=None):
+        self.client = client
+        self.job_id = job_id
+        self.job = job
+
+    def status(self) -> JobStatus:
+        """Where the job is in its lifecycle (one round trip)."""
+        reply = self.client._request({"op": "status", "job_id": self.job_id})
+        return JobStatus(reply["status"])
+
+    def events(self) -> list:
+        """The full event log delivered so far (replayed, not live)."""
+        collected = []
+        for event in self._stream(live=False):
+            collected.append(event)
+        return collected
+
+    def stream(self):
+        """Yield :class:`~repro.service.jobs.TaskEvent` records as tasks
+        complete — the in-process handle's buffer-replay contract over
+        the wire: the full log replays from the beginning, then live
+        events follow; ends on completion or cancellation, raises
+        :class:`JobFailed` after the delivered events on failure."""
+        return self._stream(live=True)
+
+    def _stream(self, live: bool):
+        sock = connect(self.client.address, timeout=self.client.timeout)
+        try:
+            sock.settimeout(None)  # events arrive at task cadence
+            send_frame(sock, {"op": "events", "job_id": self.job_id})
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise DaemonUnavailableError(
+                        "daemon closed the event stream (shutdown?)"
+                    )
+                if not frame.get("ok", True):
+                    _raise_for(frame)
+                if "event" in frame:
+                    yield event_from_wire(frame["event"])
+                    continue
+                end = frame["end"]
+                if live and end["status"] == JobStatus.FAILED.value:
+                    raise JobFailed(end.get("error") or "job failed")
+                return
+        finally:
+            sock.close()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal status (the daemon
+        drives it regardless); False on timeout."""
+        try:
+            self._result_frame(timeout)
+        except TimeoutError:
+            return False
+        except (JobFailed, JobCancelled, RuntimeError):
+            return True
+        return True
+
+    def result(self, timeout: float | None = None):
+        """Block for the job's result.  Raises exactly like the
+        in-process handle: :class:`JobFailed` (with the worker
+        traceback), :class:`JobCancelled`, or :class:`TimeoutError` —
+        a timeout leaves the job running on the daemon."""
+        reply = self._result_frame(timeout)
+        return decode_payload(reply["result"])
+
+    def _result_frame(self, timeout: float | None):
+        grace = None if timeout is None else timeout + 10.0
+        return self.client._request(
+            {"op": "result", "job_id": self.job_id, "timeout": timeout},
+            timeout=grace,
+        )
+
+    def cancel(self) -> bool:
+        """Cancel at the next task boundary; finished tasks stay
+        journaled.  Returns False when the job had already finished."""
+        reply = self.client._request({"op": "cancel", "job_id": self.job_id})
+        return reply["cancelled"]

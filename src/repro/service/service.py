@@ -57,6 +57,50 @@ from repro.service.scheduler import (
 )
 
 
+def plan_campaign_tasks(todo, store, clear_locks: bool):
+    """Turn the remaining ``(index, cell)`` pairs into scheduler tasks.
+
+    Returns ``(cell_tasks, provision_tasks, cell_triples)``:
+    the cells as :class:`CellTask` records, one :class:`ProvisionTask`
+    per calibration triple the cells declare that ``store`` does not
+    already hold, and the gating map (cell index -> set of missing
+    triples the cell must wait for).  ``clear_locks`` clears each
+    missing triple's ``get_or_set`` lock up front — correct only when
+    the caller owns the store exclusively (the per-job service path);
+    the daemon shares one store across concurrent jobs and sweeps
+    debris at startup instead.
+    """
+    from repro.campaigns.campaign import cell_triples as triples_of
+
+    cell_triples = {index: triples_of(cell) for index, cell in todo}
+    triples = sorted(set().union(*cell_triples.values())) if cell_triples else []
+    missing = [
+        t for t, hit in zip(triples, store.get_many(triples))
+        if hit is None
+    ]
+    if clear_locks:
+        for triple in missing:
+            store.clear_lock(triple)
+    for index in cell_triples:
+        cell_triples[index] &= set(missing)
+    cell_tasks = [CellTask(index, cell) for index, cell in todo]
+    return cell_tasks, [ProvisionTask(t) for t in missing], cell_triples
+
+
+def journal_task_events(events, journal):
+    """Map raw scheduler results to :class:`TaskEvent` records,
+    journaling each finished cell the moment its result arrives —
+    the shared tail of every scheduled execution path (per-job worker
+    teams and the daemon's persistent fleet alike)."""
+    for task, payload, seconds in events:
+        if isinstance(task, CellTask):
+            if journal is not None:
+                journal.put_cell(task.index, task.label(), payload, seconds)
+            yield TaskEvent("cell", task.label(), task.index, payload, seconds)
+        else:
+            yield TaskEvent("provision", task.label(), None, payload, seconds)
+
+
 class JobHandle:
     """Lifecycle handle of one submitted job (see module docstring)."""
 
@@ -117,12 +161,18 @@ class JobHandle:
     def stream(self):
         """Yield :class:`TaskEvent` records as tasks complete.
 
-        Drives the job while iterated; events already delivered are
-        replayed first, so late (or repeated) consumers see the full
-        log.  The stream simply ends on cancellation; a failure raises
-        :class:`JobFailed` after the delivered events — for live and
-        late consumers alike, so a failed job is never mistaken for a
-        completed one.
+        Drives the job while iterated.  **Consumer contract
+        (buffer-replay):** every consumer sees the full event log from
+        the beginning — events already delivered are replayed first,
+        so late consumers, repeated consumers and a second *concurrent*
+        ``stream()`` on the same handle all observe the identical
+        complete sequence; concurrent consumers never split events
+        between them.  (Two streams of one handle interleaved from
+        different threads are not supported — the handle's consumer
+        drives the job single-threadedly.)  The stream simply ends on
+        cancellation; a failure raises :class:`JobFailed` after the
+        delivered events — for live and late consumers alike, so a
+        failed job is never mistaken for a completed one.
         """
         i = 0
         while True:
@@ -134,15 +184,46 @@ class JobHandle:
             yield self._events[i]
             i += 1
 
-    def result(self):
+    def wait(self, timeout: float | None = None) -> bool:
+        """Drive the job until it reaches a terminal status, or until
+        ``timeout`` seconds elapse.
+
+        Returns True when the job finished (COMPLETED, FAILED *or*
+        CANCELLED — inspect ``status()`` or call ``result()`` to
+        distinguish), False on timeout.  The in-process handle is
+        consumer-driven, so the deadline is checked between tasks: a
+        task already running is never preempted, and ``wait(0)`` on an
+        undriven job does no work at all.  The network-backed
+        :class:`~repro.service.client.RemoteJobHandle` has the same
+        signature with the daemon driving regardless.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._status in (JobStatus.PENDING, JobStatus.RUNNING):
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            try:
+                if not self._advance():
+                    break
+            except JobFailed:
+                break
+        return True
+
+    def result(self, timeout: float | None = None):
         """Drive the job to completion and return its result.
 
-        Raises :class:`JobFailed` when a task raised and
-        :class:`JobCancelled` when the job was cancelled.
+        Raises :class:`JobFailed` when a task raised,
+        :class:`JobCancelled` when the job was cancelled, and
+        :class:`TimeoutError` when ``timeout`` seconds elapse first
+        (checked at task boundaries; see :meth:`wait`) — the job is
+        *not* cancelled by a timeout, so a later ``result()`` resumes
+        driving it.
         """
-        while self._status in (JobStatus.PENDING, JobStatus.RUNNING):
-            if not self._advance():
-                break
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"job still {self._status.value} after {timeout} s "
+                f"({len(self._events)} tasks completed); result() again "
+                f"to keep driving, cancel() to stop"
+            )
         if self._status is JobStatus.FAILED:
             raise self._error
         if self._status is JobStatus.CANCELLED:
@@ -255,13 +336,9 @@ class FoundryService:
             timings[index] = seconds
             yield TaskEvent("replay", label, index, report, seconds)
         todo = [(i, cell) for i, cell in enumerate(cells) if i not in replayed]
-        if n_workers == 1 or len(todo) <= 1:
-            runner = self._campaign_inline(job, todo, journal)
-            reported_workers = 1
-        else:
-            runner = self._campaign_sharded(job, todo, n_workers,
-                                            scheduler, journal)
-            reported_workers = n_workers
+        runner, reported_workers = self._campaign_runner(
+            job, todo, n_workers, scheduler, journal
+        )
         for event in runner:
             if event.kind == "cell":
                 reports[event.index] = event.payload
@@ -272,6 +349,25 @@ class FoundryService:
             cell_seconds=[timings[i] for i in range(len(cells))],
             n_workers=reported_workers,
             backend=resolved_backend,
+        )
+
+    def _campaign_runner(self, job, todo, n_workers, scheduler, journal):
+        """Choose how the remaining cells execute: ``(runner,
+        reported_workers)``.
+
+        The execution-policy hook the daemon's fleet-backed service
+        overrides: the base service runs small jobs in-process (the
+        ground-truth path) and shards the rest over a per-job worker
+        team; the daemon routes everything to its one persistent fleet.
+        Either way the runner yields the same :class:`TaskEvent`
+        sequence shape, which is why reports are bit-identical across
+        execution modes.
+        """
+        if n_workers == 1 or len(todo) <= 1:
+            return self._campaign_inline(job, todo, journal), 1
+        return (
+            self._campaign_sharded(job, todo, n_workers, scheduler, journal),
+            n_workers,
         )
 
     def _campaign_inline(self, job, todo, journal):
@@ -301,7 +397,6 @@ class FoundryService:
 
     def _campaign_sharded(self, job, todo, n_workers, scheduler, journal):
         """Worker-process execution behind the scheduler."""
-        from repro.campaigns.campaign import cell_triples as triples_of
         from repro.campaigns.campaign import provision_fleet
 
         store_path = job.calibration_store or (
@@ -312,20 +407,14 @@ class FoundryService:
             store_path = tempfile.mkdtemp(prefix="repro-calstore-")
         try:
             store = CalibrationStore(store_path)
-            cell_triples = {index: triples_of(cell) for index, cell in todo}
-            triples = sorted(set().union(*cell_triples.values())) if cell_triples else []
-            missing = [
-                t for t, hit in zip(triples, store.get_many(triples))
-                if hit is None
-            ]
-            for triple in missing:
-                # A killed run's terminated worker can leave its
-                # get_or_set lock behind; this job owns each triple as
-                # exactly one task, so any existing lock is debris.
-                store.clear_lock(triple)
-            for index in cell_triples:
-                cell_triples[index] &= set(missing)
-            cell_tasks = [CellTask(index, cell) for index, cell in todo]
+            # clear_locks=True: this job owns each triple as exactly
+            # one task, so a lock left by a killed run's terminated
+            # worker is debris.  (The daemon path plans with False —
+            # there a concurrent job may hold a *live* lock.)
+            cell_tasks, provision_tasks, cell_triples = plan_campaign_tasks(
+                todo, store, clear_locks=True
+            )
+            missing = [task.triple for task in provision_tasks]
             if scheduler == "static":
                 if missing:
                     # The pre-scheduler behaviour: one parent-side
@@ -344,22 +433,13 @@ class FoundryService:
             else:
                 events = run_stealing(
                     cell_tasks,
-                    [ProvisionTask(t) for t in missing],
+                    provision_tasks,
                     cell_triples,
                     n_workers,
                     job.backend,
                     store_path,
                 )
-            for task, payload, seconds in events:
-                if isinstance(task, CellTask):
-                    if journal is not None:
-                        journal.put_cell(task.index, task.label(),
-                                         payload, seconds)
-                    yield TaskEvent("cell", task.label(), task.index,
-                                    payload, seconds)
-                else:
-                    yield TaskEvent("provision", task.label(), None,
-                                    payload, seconds)
+            yield from journal_task_events(events, journal)
         finally:
             if own_tmp:
                 shutil.rmtree(store_path, ignore_errors=True)
@@ -371,18 +451,24 @@ class FoundryService:
         return lambda: self._provisioning_events(job, n_workers)
 
     def _provisioning_events(self, job, n_workers):
-        from repro.campaigns.campaign import provision_fleet
-
         store = CalibrationStore(job.calibration_store)
         triples = sorted({tuple(t) for t in job.triples})
         missing = [
             t for t, hit in zip(triples, store.get_many(triples))
             if hit is None
         ]
-        for triple in missing:
-            store.clear_lock(triple)  # killed-run debris; see campaign path
         if not missing:
             return 0
+        yield from self._provision_runner(job, missing, n_workers, store)
+        return len(missing)
+
+    def _provision_runner(self, job, missing, n_workers, store):
+        """Execute the missing triples (the daemon overrides this to
+        route them to its persistent fleet)."""
+        from repro.campaigns.campaign import provision_fleet
+
+        for triple in missing:
+            store.clear_lock(triple)  # killed-run debris; see campaign path
         if n_workers == 1 or len(missing) <= 1:
             start = time.perf_counter()
             provision_fleet(missing, store, backend=job.backend)
@@ -401,7 +487,6 @@ class FoundryService:
             for task, payload, seconds in events:
                 yield TaskEvent("provision", task.label(), None, payload,
                                 seconds)
-        return len(missing)
 
     # -- experiment jobs --------------------------------------------------
 

@@ -1,0 +1,179 @@
+"""Multi-tenant vocabulary of the foundry daemon: priorities and quotas.
+
+A *tenant* is one customer of a shared daemon.  Its
+:class:`TenantConfig` carries the two admission-control knobs the
+daemon enforces:
+
+* ``priority`` — queued jobs are admitted highest priority first
+  (FIFO within a priority level);
+* ``max_queries`` — a tenant-level oracle-measurement budget across
+  *all* of the tenant's jobs, metered by a :class:`TenantMeter`.
+
+The meter generalises :meth:`~repro.attacks.oracle.MeasurementOracle.
+charge_batch`'s atomic chunk admission to the tenant level: a whole
+chunk is admitted or refused at the same per-tenant count **regardless
+of placement** — whichever job, cell or worker process submits it —
+because the count lives in one file and every charge holds that file's
+lock across its check-then-advance.  A refusal raises the same
+:class:`~repro.attacks.oracle.QueryBudgetExceeded` the per-oracle
+budget raises, with every meter (tenant and oracle) un-advanced, so
+attacks report tenant exhaustion exactly as they report their own.
+
+Worker processes install their task's meter through
+:func:`repro.attacks.oracle.install_tenant_meter`; every oracle charge
+then writes through both meters atomically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.attacks.oracle import QueryBudgetExceeded
+
+try:  # POSIX: the kernel releases a crashed holder's flock for us.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of a shared daemon.
+
+    Attributes:
+        name: Tenant identifier (the ``REPRO_SERVICE_TENANT`` value
+            clients submit under).
+        priority: Admission priority; higher admits first.
+        max_queries: Tenant-wide oracle-measurement budget across all
+            the tenant's jobs; None for unlimited.
+    """
+
+    name: str
+    priority: int = 0
+    max_queries: int | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.max_queries is not None and self.max_queries < 0:
+            raise ValueError(
+                f"max_queries must be >= 0 or None (unlimited), "
+                f"got {self.max_queries!r}"
+            )
+
+
+def parse_tenant_spec(spec: str) -> TenantConfig:
+    """Parse a CLI tenant spec: ``name[=priority[:max_queries]]``.
+
+    Examples: ``acme`` (defaults), ``acme=5`` (priority 5),
+    ``acme=5:20000`` (priority 5, 20000-measurement quota).
+    """
+    name, _, rest = spec.partition("=")
+    if not rest:
+        return TenantConfig(name=name)
+    priority_text, _, quota_text = rest.partition(":")
+    try:
+        priority = int(priority_text) if priority_text else 0
+        max_queries = int(quota_text) if quota_text else None
+    except ValueError:
+        raise ValueError(
+            f"malformed tenant spec {spec!r}; expected "
+            f"name[=priority[:max_queries]]"
+        ) from None
+    return TenantConfig(name=name, priority=priority, max_queries=max_queries)
+
+
+class TenantMeter:
+    """File-backed atomic query meter shared by every process of a
+    tenant's jobs.
+
+    The count is one ASCII integer in ``path``; :meth:`charge_batch`
+    holds an exclusive lock across read-check-write, so concurrent
+    chunks from any mixture of workers serialise and each whole chunk
+    is admitted or refused atomically — the tenant-level analogue of
+    the oracle's own ``charge_batch``.  Locking uses ``flock`` where
+    available (a crashed holder's lock is released by the kernel, so a
+    SIGKILLed worker can never wedge its tenant) and falls back to an
+    ``O_CREAT|O_EXCL`` spin lock elsewhere.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_queries: int | None = None,
+        tenant: str = "",
+    ):
+        self.path = Path(path)
+        self.max_queries = max_queries
+        self.tenant = tenant
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- locking ----------------------------------------------------------
+
+    def _lock_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".lock")
+
+    def _acquire(self):
+        if fcntl is not None:
+            fd = os.open(self._lock_path(), os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            return fd
+        while True:  # pragma: no cover - non-POSIX fallback
+            try:
+                return os.open(
+                    self._lock_path(), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                time.sleep(0.005)
+
+    def _release(self, fd: int) -> None:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            os.unlink(self._lock_path())
+
+    # -- the meter --------------------------------------------------------
+
+    def _read(self) -> int:
+        try:
+            return int(self.path.read_text() or "0")
+        except (OSError, ValueError):
+            return 0
+
+    def n_queries(self) -> int:
+        """The tenant's metered measurement count so far."""
+        fd = self._acquire()
+        try:
+            return self._read()
+        finally:
+            self._release(fd)
+
+    def charge_batch(self, n: int, seconds_each: float = 0.0) -> None:
+        """Atomically admit or refuse a whole ``n``-measurement chunk.
+
+        Raises :class:`QueryBudgetExceeded` with the meter un-advanced
+        when the chunk does not fit the tenant's remaining quota —
+        at the same per-tenant count whichever job or worker placed it.
+        """
+        if n < 0:
+            raise ValueError(f"cannot charge a negative batch, got {n}")
+        fd = self._acquire()
+        try:
+            count = self._read()
+            if (
+                self.max_queries is not None
+                and count + n > self.max_queries
+            ):
+                raise QueryBudgetExceeded(
+                    f"tenant {self.tenant or self.path.stem!r} quota of "
+                    f"{self.max_queries} measurements exhausted "
+                    f"({count} spent, {n} more requested)"
+                )
+            self.path.write_text(f"{count + n}\n")
+        finally:
+            self._release(fd)
