@@ -41,7 +41,19 @@ def _short_socket() -> str:
 
 def test_bench_daemon_dispatch(run_once, tmp_path):
     """Wall time of one quick campaign through the whole daemon path
-    (connect, submit, fleet execution, streamed events, result)."""
+    (connect, submit, fleet execution, streamed events, result).
+
+    Also the zero-overhead guard for :mod:`repro.faults`: the timed
+    path crosses every instrumented site (worker task execution, store
+    and journal writes, protocol frames), and with no plan installed
+    each site costs one module-flag check — asserted disarmed here so
+    a leaked ``REPRO_FAULTS`` can never skew the BENCH trajectory."""
+    from repro import faults
+
+    assert not faults.ENABLED, (
+        "fault injection is armed (REPRO_FAULTS leaked into the bench "
+        "environment?); dispatch timings would measure the chaos plan"
+    )
     cells = oracle_cells(4, budget=8)
     daemon = FoundryDaemon(tmp_path / "bench", socket=_short_socket(),
                            n_workers=2)

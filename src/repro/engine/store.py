@@ -19,6 +19,13 @@ Design points:
 * **Atomic, crash-safe writes.**  Entries are written to a temp file
   and ``os.replace``-d into place; readers never see a torn entry, and
   a corrupt or half-written file is treated as a miss.
+* **Integrity-checksummed entries.**  Each entry carries a digest of
+  its pickle, verified before unpickling: a complete-but-corrupted
+  entry (bit rot, a partial NFS write that still renamed) degrades to
+  a miss and a recompute instead of raising ``UnpicklingError`` — or
+  unpickling garbage that *doesn't* raise — through ``calibrated()``.
+  Entries written before the checksum existed still read (their pickle
+  parse is the only check, as before).
 * **Keys verified, not trusted.**  File names are key digests; the full
   key is stored inside the entry and checked on read, so a digest
   collision degrades to a miss instead of serving the wrong die.
@@ -39,8 +46,18 @@ import time
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro import faults
+
 #: Name of the per-store compute audit log.
 EVENTS_FILE = "events.log"
+
+#: Magic prefix of a checksummed entry: ``MAGIC + sha256(pickle)[:16]
+#: + pickle``.  Files without it are pre-checksum entries and read the
+#: legacy way.
+ENTRY_MAGIC = b"RCS1"
+
+#: Bytes of the sha256 digest stored after the magic.
+DIGEST_BYTES = 16
 
 
 class CalibrationStore:
@@ -76,19 +93,42 @@ class CalibrationStore:
         """The stored value for ``key``, or None on any kind of miss."""
         try:
             with open(self._entry(key), "rb") as fh:
-                stored_key, value = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
-            return None  # missing, torn, or from an incompatible version
+                data = fh.read()
+        except OSError:
+            return None  # missing
+        if data.startswith(ENTRY_MAGIC):
+            header = len(ENTRY_MAGIC) + DIGEST_BYTES
+            digest = data[len(ENTRY_MAGIC):header]
+            payload = data[header:]
+            if hashlib.sha256(payload).digest()[:DIGEST_BYTES] != digest:
+                return None  # corrupted in place: miss, recompute
+        else:
+            payload = data  # pre-checksum entry: pickle parse is the check
+        try:
+            stored_key, value = pickle.loads(payload)
+        except Exception:
+            # Torn, bit-rotten, or from an incompatible version: a bad
+            # pickle can raise nearly anything, and a miss-and-recompute
+            # is always safe (entries are deterministic values).
+            return None
         if stored_key != key:
             return None  # digest collision: miss, never the wrong die
         return value
 
     def _write_entry(self, key: tuple, value) -> None:
         entry = self._entry(key)
+        payload = pickle.dumps((key, value))
+        data = (
+            ENTRY_MAGIC
+            + hashlib.sha256(payload).digest()[:DIGEST_BYTES]
+            + payload
+        )
+        if faults.ENABLED and faults.fire("store.torn_entry"):
+            data = faults.torn(data)
         fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=str(self.path))
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump((key, value), fh)
+                fh.write(data)
             os.replace(tmp, entry)
         except OSError:
             try:
@@ -102,6 +142,8 @@ class CalibrationStore:
         return f"{os.getpid()} {key!r}{tag}\n".encode()
 
     def _append_events(self, data: bytes) -> None:
+        if faults.ENABLED and faults.fire("store.torn_audit"):
+            data = faults.torn(data.rstrip(b"\n"))
         log_fd = os.open(
             self.path / EVENTS_FILE, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
@@ -235,11 +277,20 @@ class CalibrationStore:
         return sum(1 for _ in self.path.glob("cal-*.pkl"))
 
     def compute_events(self) -> list[str]:
-        """The audit log: one line per value computed into the store."""
+        """The audit log: one line per value computed into the store.
+
+        A torn trailing line — a writer killed mid-append, before the
+        terminating newline landed — is dropped rather than surfaced as
+        a garbled record (whole lines always end in ``\\n``; audits must
+        survive the crashes the journal survives)."""
         try:
-            text = (self.path / EVENTS_FILE).read_text()
+            data = (self.path / EVENTS_FILE).read_bytes()
         except OSError:
             return []
+        if data and not data.endswith(b"\n"):
+            newline = data.rfind(b"\n")
+            data = data[: newline + 1] if newline >= 0 else b""
+        text = data.decode("utf-8", errors="replace")
         return [line for line in text.splitlines() if line]
 
     def clear(self) -> None:

@@ -1,0 +1,291 @@
+"""Deterministic fault injection: the chaos the self-healing layer is
+proved against.
+
+The service layer claims crash-transparency — a worker killed or hung
+mid-task, a torn store entry, a dropped protocol frame must all leave
+reports byte-identical to a fault-free run (``tests/test_faults.py``
+holds exactly that differentially).  Claims like that are only as good
+as the faults they were tested under, so this module gives every
+recovery path a *named, deterministic* trigger:
+
+============================  =============================================
+injection point               fires inside
+============================  =============================================
+``task.crash_before_report``  a worker, after ``task.run()`` succeeded but
+                              before the result reaches the parent
+                              (``os._exit`` — simulates SIGKILL/OOM)
+``task.crash_after_charge``   :meth:`~repro.service.tenants.TenantMeter.
+                              charge_batch`, after the charge landed — the
+                              one stateful mid-task hazard the reservation
+                              journal closes
+``task.hang``                 a worker, instead of running its task
+                              (``SIGSTOP`` to itself: every thread freezes,
+                              heartbeats stop, the watchdog must reclaim)
+``store.torn_entry``          :meth:`~repro.engine.store.CalibrationStore.
+                              put` — the entry lands truncated, as if the
+                              writer died mid-write before the rename
+``store.torn_audit``          the store's ``events.log`` append — the line
+                              lands without its trailing newline
+``journal.torn_append``       :meth:`~repro.service.journal.JobJournal.
+                              put_cell` — the cell entry lands truncated
+``frame.drop``                :func:`~repro.service.protocol.send_frame` —
+                              nothing is sent and the connection is torn
+``frame.truncate``            :func:`~repro.service.protocol.send_frame` —
+                              half the frame is sent, then the connection
+                              is torn
+============================  =============================================
+
+Determinism: each point keeps a per-process hit counter, and a
+:class:`FaultRule` decides *by counter value* whether a hit fires —
+``every=N`` (every Nth hit), ``at=3/7`` (exactly those hits), ``p=0.2``
+(a pseudo-random subset drawn from ``hash(seed, point, hit)``, so the
+same seed always selects the same hits), optionally capped by
+``times=K``.  Given the same plan and the same execution schedule, the
+same faults fire.
+
+Cost when disabled: every instrumented site guards on the module-level
+:data:`ENABLED` flag — one attribute load and a falsy test, nothing
+else.  ``benchmarks/test_bench_daemon.py`` asserts the flag is off and
+times the full dispatch path under it.
+
+Activation: programmatic (:func:`install`) or the ``REPRO_FAULTS``
+environment variable, read at import time so forked *and* spawned
+workers inherit the plan::
+
+    REPRO_FAULTS="task.crash_before_report:every=5;frame.truncate:at=2"
+    REPRO_FAULTS="task.hang:p=0.1,seed=7"
+
+Spec grammar: ``;``-separated clauses, each ``point:key=value[,...]``
+with keys ``every`` / ``at`` (``/``-separated hit numbers, 1-based) /
+``p`` / ``times`` / ``seed`` (plan-wide, any clause may set it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+
+#: Environment variable carrying a fault-plan spec (see module docs).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every injection point a plan may name (unknown points are rejected
+#: up front so a typo cannot silently disarm a chaos run).
+INJECTION_POINTS = (
+    "task.crash_before_report",
+    "task.crash_after_charge",
+    "task.hang",
+    "store.torn_entry",
+    "store.torn_audit",
+    "journal.torn_append",
+    "frame.drop",
+    "frame.truncate",
+)
+
+#: Module-level arming flag: the ONLY thing instrumented hot paths test
+#: when no plan is installed.  Kept in sync with :data:`_PLAN` by
+#: :func:`install`.
+ENABLED = False
+
+_PLAN = None
+
+
+class FaultInjected(ConnectionResetError):
+    """Raised by frame-level injections to tear the connection the way
+    a real network failure would (``ConnectionResetError`` so existing
+    socket error handling takes over)."""
+
+
+class FaultRule:
+    """When one injection point fires, by per-process hit counter.
+
+    Args:
+        point: One of :data:`INJECTION_POINTS`.
+        every: Fire on hits ``N, 2N, 3N, ...`` (1-based).
+        at: Fire on exactly these hit numbers (1-based).
+        p: Fire on a deterministic pseudo-random fraction of hits,
+            drawn from the plan seed (see :meth:`FaultPlan.should_fire`).
+        times: Stop firing after this many firings.
+    """
+
+    def __init__(self, point: str, every: int | None = None,
+                 at=(), p: float | None = None, times: int | None = None):
+        if point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {point!r}; "
+                f"known: {', '.join(INJECTION_POINTS)}"
+            )
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if p is not None and not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if every is None and not at and p is None:
+            raise ValueError(
+                f"rule for {point!r} needs every=, at= or p= to ever fire"
+            )
+        self.point = point
+        self.every = every
+        self.at = frozenset(at)
+        self.p = p
+        self.times = times
+
+    def matches(self, hit: int, seed: int) -> bool:
+        """Does hit number ``hit`` (1-based) fire, given the plan seed?"""
+        if self.every is not None and hit % self.every == 0:
+            return True
+        if hit in self.at:
+            return True
+        if self.p is not None:
+            digest = hashlib.sha256(
+                f"{seed}:{self.point}:{hit}".encode()
+            ).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            return draw < self.p
+        return False
+
+
+class FaultPlan:
+    """A set of :class:`FaultRule` records plus per-point hit counters.
+
+    Counters are per-process (workers start their own on fork/spawn and
+    restart them on respawn), which is what makes a standing chaos plan
+    like ``task.crash_before_report:every=5`` survivable: the respawned
+    worker runs its retried task 4 clean tasks away from its next crash.
+    """
+
+    def __init__(self, rules=(), seed: int = 0):
+        self.rules: dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.point in self.rules:
+                raise ValueError(f"duplicate rule for {rule.point!r}")
+            self.rules[rule.point] = rule
+        self.seed = seed
+        self._hits: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    def should_fire(self, point: str) -> bool:
+        """Advance ``point``'s hit counter and decide this hit."""
+        rule = self.rules.get(point)
+        if rule is None:
+            return False
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        if rule.times is not None and self._fired.get(point, 0) >= rule.times:
+            return False
+        if not rule.matches(hit, self.seed):
+            return False
+        self._fired[point] = self._fired.get(point, 0) + 1
+        return True
+
+    def spec(self) -> str:
+        """A ``REPRO_FAULTS`` spec string reproducing this plan."""
+        clauses = []
+        for rule in self.rules.values():
+            keys = []
+            if rule.every is not None:
+                keys.append(f"every={rule.every}")
+            if rule.at:
+                keys.append("at=" + "/".join(str(n) for n in sorted(rule.at)))
+            if rule.p is not None:
+                keys.append(f"p={rule.p}")
+            if rule.times is not None:
+                keys.append(f"times={rule.times}")
+            if self.seed:
+                keys.append(f"seed={self.seed}")
+            clauses.append(f"{rule.point}:{','.join(keys)}")
+        return ";".join(clauses)
+
+
+def parse_spec(text: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec (module docstring grammar)."""
+    rules = []
+    seed = 0
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        point, sep, rest = clause.partition(":")
+        if not sep:
+            raise ValueError(
+                f"malformed fault clause {clause!r}; expected "
+                f"point:key=value[,key=value...]"
+            )
+        kwargs: dict = {}
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(
+                    f"malformed fault option {pair!r} in {clause!r}"
+                )
+            try:
+                if key == "every" or key == "times":
+                    kwargs[key] = int(value)
+                elif key == "at":
+                    kwargs["at"] = tuple(int(n) for n in value.split("/"))
+                elif key == "p":
+                    kwargs["p"] = float(value)
+                elif key == "seed":
+                    seed = int(value)
+                else:
+                    raise ValueError(f"unknown fault option {key!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"malformed fault clause {clause!r}: {exc}"
+                ) from None
+        rules.append(FaultRule(point.strip(), **kwargs))
+    return FaultPlan(rules, seed=seed)
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Install (or, with None, disarm) the process-wide fault plan."""
+    global _PLAN, ENABLED
+    _PLAN = plan
+    ENABLED = plan is not None
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, or None."""
+    return _PLAN
+
+
+def fire(point: str) -> bool:
+    """Advance ``point``'s counter on the installed plan; True when the
+    fault should be injected now.  Callers guard with :data:`ENABLED`
+    first, so this is never reached on the fault-free hot path."""
+    plan = _PLAN
+    return plan is not None and plan.should_fire(point)
+
+
+def crash() -> None:
+    """Die the way a SIGKILL/OOM kill dies: no cleanup, no unwinding,
+    no result message — ``os._exit`` with a recognisable code."""
+    os._exit(86)
+
+
+def hang() -> None:
+    """Freeze the whole process the way a wedged syscall or a livelock
+    does: ``SIGSTOP`` stops every thread, including the heartbeat
+    thread, so only the parent's watchdog can reclaim the worker."""
+    os.kill(os.getpid(), signal.SIGSTOP)
+    # If anything ever SIGCONTs us instead of killing us, stay hung —
+    # a resumed "hung" worker must not surprise the scheduler with a
+    # result it already retried elsewhere.
+    while True:  # pragma: no cover - only reached under SIGCONT
+        time.sleep(3600)
+
+
+def torn(data: bytes) -> bytes:
+    """The prefix a crash mid-write would have left behind (at least
+    one byte so the file exists, never the whole payload)."""
+    return data[: max(1, len(data) // 2)]
+
+
+def _install_from_env() -> None:
+    spec = os.environ.get(FAULTS_ENV)
+    if spec:
+        install(parse_spec(spec))
+
+
+_install_from_env()

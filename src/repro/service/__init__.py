@@ -33,6 +33,14 @@ through the shared :class:`~repro.engine.store.CalibrationStore` —
 held differentially in ``tests/test_service.py``.
 :func:`~repro.campaigns.campaign.run_campaign`, the experiment runner
 and the example studies are thin clients of this service.
+
+Execution is **self-healing**: supervised workers (the stealing
+scheduler and the daemon fleet) that die or hang mid-task are
+respawned and their task retried up to ``REPRO_TASK_RETRIES`` attempts
+(a hung worker is reclaimed after ``REPRO_TASK_TIMEOUT`` seconds of
+heartbeat silence), with reports byte-identical across any crash
+schedule — held under the deterministic fault-injection plans of
+:mod:`repro.faults` in ``tests/test_faults.py``.
 """
 
 from repro.service.jobs import (
@@ -45,8 +53,13 @@ from repro.service.jobs import (
     ProvisioningJob,
     SCHEDULERS,
     SERVICE_WORKERS_ENV,
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
     TaskEvent,
+    TaskRetriesExhausted,
     default_worker_count,
+    task_retry_budget,
+    task_timeout_seconds,
     validate_worker_count,
 )
 from repro.service.journal import JobJournal, cells_fingerprint
@@ -75,12 +88,17 @@ __all__ = [
     "SERVICE_SOCKET_ENV",
     "SERVICE_TENANT_ENV",
     "SERVICE_WORKERS_ENV",
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
     "TaskEvent",
+    "TaskRetriesExhausted",
     "TenantConfig",
     "TenantMeter",
     "WorkerFleet",
     "cells_fingerprint",
     "default_worker_count",
     "parse_tenant_spec",
+    "task_retry_budget",
+    "task_timeout_seconds",
     "validate_worker_count",
 ]

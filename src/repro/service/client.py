@@ -25,10 +25,11 @@ daemon address, ``REPRO_SERVICE_TENANT`` the tenant to submit under.
 from __future__ import annotations
 
 import os
-import socket as socket_module
+import time
 
 from repro.service.jobs import JobCancelled, JobFailed, JobStatus
 from repro.service.protocol import (
+    ProtocolError,
     SERVICE_SOCKET_ENV,
     SERVICE_TENANT_ENV,
     connect,
@@ -39,6 +40,25 @@ from repro.service.protocol import (
     recv_frame,
     send_frame,
 )
+
+#: Socket-level grace added on top of a *server-side* wait: when the
+#: client asks the daemon to block (``result(timeout=T)``, ``drain``),
+#: the socket read must outlive the daemon's own T-second wait by the
+#: round-trip and scheduling slack, or a well-behaved daemon reply
+#: races the client's socket timeout.  One constant, every such call.
+RESULT_GRACE_SECONDS = 10.0
+
+#: First connect-retry backoff, seconds; doubles per attempt up to
+#: :data:`CONNECT_BACKOFF_MAX` while the connect budget lasts.
+CONNECT_BACKOFF_INITIAL = 0.05
+
+#: Backoff ceiling between connect attempts, seconds.
+CONNECT_BACKOFF_MAX = 2.0
+
+#: Reconnect attempts an event stream survives *between* deliveries
+#: (each one resumes from the events already received); progress
+#: resets the count.
+STREAM_RECONNECTS = 5
 
 
 class DaemonUnavailableError(ConnectionError):
@@ -75,6 +95,17 @@ def _raise_for(reply: dict):
     raise RuntimeError(f"{kind}: {error}" if kind else error)
 
 
+def _server_wait_grace(timeout: float | None) -> float | None:
+    """The socket timeout matching a server-side wait of ``timeout``
+    seconds: the daemon's wait plus :data:`RESULT_GRACE_SECONDS` of
+    transit slack.  ``timeout=0`` (an immediate poll) gets the full
+    grace — the daemon answers at once, the socket just has to carry
+    it; ``None`` (wait forever) disables the socket timeout too."""
+    if timeout is None:
+        return None
+    return max(timeout, 0.0) + RESULT_GRACE_SECONDS
+
+
 class DaemonClient:
     """A connection factory to one daemon address.
 
@@ -83,7 +114,12 @@ class DaemonClient:
             None resolves ``REPRO_SERVICE_SOCKET``.
         tenant: Tenant to submit under; None resolves
             ``REPRO_SERVICE_TENANT`` (default ``"default"``).
-        timeout: Connect timeout, seconds.
+        timeout: Connect budget, seconds.  Transient connect failures —
+            the socket file not there yet (a client racing ``serve``
+            startup), connection refused (a stale socket file), reset —
+            retry with exponential backoff until the budget is spent,
+            then raise the last error.  The budget also serves as the
+            per-reply socket timeout for plain round trips.
 
     Each request opens its own connection (requests are independent
     and the daemon serves each connection on its own thread), so one
@@ -104,12 +140,34 @@ class DaemonClient:
         self.tenant = tenant or os.environ.get(SERVICE_TENANT_ENV) or "default"
         self.timeout = timeout
 
+    def _connect(self):
+        """Connect with bounded exponential backoff: keep retrying
+        transient failures until ``self.timeout`` seconds have been
+        spent, then raise the last one."""
+        deadline = time.monotonic() + self.timeout
+        backoff = CONNECT_BACKOFF_INITIAL
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                return connect(
+                    self.address, timeout=max(remaining, 0.001)
+                )
+            except (FileNotFoundError, ConnectionRefusedError,
+                    ConnectionResetError, TimeoutError) as exc:
+                if time.monotonic() + backoff >= deadline:
+                    raise DaemonUnavailableError(
+                        f"no daemon reachable at {self.address} within "
+                        f"{self.timeout:g}s ({type(exc).__name__}: {exc})"
+                    ) from exc
+                time.sleep(backoff)
+                backoff = min(backoff * 2, CONNECT_BACKOFF_MAX)
+
     def _request(self, frame: dict, timeout: float | None = "connect"):
         """One request/reply round trip on a fresh connection."""
-        sock = connect(self.address, timeout=self.timeout)
+        sock = self._connect()
         try:
             if timeout == "connect":
-                pass  # keep the connect timeout for the reply too
+                sock.settimeout(self.timeout)  # full budget for the reply
             else:
                 sock.settimeout(timeout)
             send_frame(sock, frame)
@@ -150,11 +208,11 @@ class DaemonClient:
 
     def drain(self, timeout: float | None = None, shutdown: bool = True) -> bool:
         """Stop admission, wait for every job, optionally shut the
-        daemon down; returns False when ``timeout`` elapsed first."""
-        grace = None if timeout is None else timeout + 10.0
+        daemon down; returns False when ``timeout`` elapsed first.
+        ``timeout=0`` is a valid immediate poll ("drained yet?")."""
         reply = self._request(
             {"op": "drain", "timeout": timeout, "shutdown": shutdown},
-            timeout=grace,
+            timeout=_server_wait_grace(timeout),
         )
         return reply["drained"]
 
@@ -185,35 +243,72 @@ class RemoteJobHandle:
         complete — the in-process handle's buffer-replay contract over
         the wire: the full log replays from the beginning, then live
         events follow; ends on completion or cancellation, raises
-        :class:`JobFailed` after the delivered events on failure."""
+        :class:`JobFailed` after the delivered events on failure.
+
+        A mid-stream socket drop reconnects with backoff and resumes
+        from the events already delivered (the daemon replays its
+        buffer from any index), so a consumer sees every event exactly
+        once across any number of reconnects."""
         return self._stream(live=True)
 
     def _stream(self, live: bool):
-        sock = connect(self.client.address, timeout=self.client.timeout)
-        try:
-            sock.settimeout(None)  # events arrive at task cadence
-            send_frame(sock, {"op": "events", "job_id": self.job_id})
-            while True:
-                frame = recv_frame(sock)
-                if frame is None:
+        delivered = 0
+        reconnects_left = STREAM_RECONNECTS
+        while True:
+            sock = None
+            try:
+                try:
+                    sock = self.client._connect()
+                    sock.settimeout(None)  # events arrive at task cadence
+                    send_frame(sock, {
+                        "op": "events", "job_id": self.job_id,
+                        # Resume past the events already yielded; the
+                        # daemon replays its buffer from any index.
+                        "start": delivered,
+                    })
+                    while True:
+                        frame = recv_frame(sock)
+                        if frame is None:
+                            raise ProtocolError(
+                                "daemon closed the event stream "
+                                "(shutdown or restart?)"
+                            )
+                        if not frame.get("ok", True):
+                            _raise_for(frame)  # deliberate — never retried
+                        if "event" in frame:
+                            yield event_from_wire(frame["event"])
+                            delivered += 1
+                            reconnects_left = STREAM_RECONNECTS  # progress
+                            continue
+                        end = frame["end"]
+                        if live and end["status"] == JobStatus.FAILED.value:
+                            raise JobFailed(end.get("error") or "job failed")
+                        return
+                finally:
+                    if sock is not None:
+                        sock.close()
+            except TimeoutError:
+                # The daemon's own Timeout answer (an OSError subclass
+                # since 3.10) is a verdict, not a torn stream.
+                raise
+            except (ProtocolError, OSError) as exc:
+                # A torn stream — daemon restart, dropped or truncated
+                # frame, reset connection — is transient: reconnect and
+                # resume from `delivered`.  Only repeated tears with no
+                # progress in between give up.
+                if reconnects_left <= 0:
                     raise DaemonUnavailableError(
-                        "daemon closed the event stream (shutdown?)"
-                    )
-                if not frame.get("ok", True):
-                    _raise_for(frame)
-                if "event" in frame:
-                    yield event_from_wire(frame["event"])
-                    continue
-                end = frame["end"]
-                if live and end["status"] == JobStatus.FAILED.value:
-                    raise JobFailed(end.get("error") or "job failed")
-                return
-        finally:
-            sock.close()
+                        f"event stream for job {self.job_id} torn "
+                        f"{STREAM_RECONNECTS + 1} times without progress: "
+                        f"{exc}"
+                    ) from exc
+                reconnects_left -= 1
+                time.sleep(CONNECT_BACKOFF_INITIAL)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches a terminal status (the daemon
-        drives it regardless); False on timeout."""
+        drives it regardless); False on timeout.  ``timeout=0`` is a
+        valid immediate poll ("finished yet?")."""
         try:
             self._result_frame(timeout)
         except TimeoutError:
@@ -226,15 +321,17 @@ class RemoteJobHandle:
         """Block for the job's result.  Raises exactly like the
         in-process handle: :class:`JobFailed` (with the worker
         traceback), :class:`JobCancelled`, or :class:`TimeoutError` —
-        a timeout leaves the job running on the daemon."""
+        a timeout leaves the job running on the daemon.  ``timeout=0``
+        is a valid immediate poll (result now or TimeoutError)."""
         reply = self._result_frame(timeout)
         return decode_payload(reply["result"])
 
     def _result_frame(self, timeout: float | None):
-        grace = None if timeout is None else timeout + 10.0
+        # The daemon waits server-side for `timeout`; the socket read
+        # must outlive that wait by the shared transit grace.
         return self.client._request(
             {"op": "result", "job_id": self.job_id, "timeout": timeout},
-            timeout=grace,
+            timeout=_server_wait_grace(timeout),
         )
 
     def cancel(self) -> bool:

@@ -18,11 +18,14 @@ Architecture
 * **Fork first, thread later.**  The fleet's worker processes fork at
   :meth:`FoundryDaemon.start`, while the daemon process is still
   single-threaded — the same fork-safety argument as the engine
-  kernel's per-call thread teams — and live for the daemon's whole
-  life.  Only then do the service threads start (socket accept, one
-  connection handler per client, one runner per admitted job).
-* **One fleet, many jobs.**  Every job's tasks go onto the fleet's one
-  shared task queue, tagged with a per-job *ticket* and a
+  kernel's per-call thread teams.  Only then do the service threads
+  start (socket accept, one connection handler per client, one runner
+  per admitted job).  A worker *respawned* after a crash necessarily
+  forks from the threaded daemon (the trade every
+  ``multiprocessing.Pool`` makes); the worker main immediately re-runs
+  the same initialisation, so the replacement is indistinguishable.
+* **One fleet, many jobs.**  Every job's tasks go into the fleet's one
+  ready pool, tagged with a per-job *ticket* and a
   :class:`TaskContext` (backend, store, tenant meter); workers
   re-initialise exactly like the per-job scheduler's workers whenever
   the context changes hands, so which worker runs a task still cannot
@@ -31,6 +34,16 @@ Architecture
   what makes per-tenant metering deterministic), and provisioning
   tasks gate their attack cells exactly as in
   :func:`~repro.service.scheduler.run_stealing`.
+* **Self-healing.**  Fleet workers are supervised over per-worker
+  duplex pipes (see :mod:`~repro.service.scheduler`): a worker that
+  dies or hangs mid-task is reaped, respawned, and its task requeued
+  with its partial tenant charges rolled back from the per-task
+  reservation journal — a job fails only once one of *its* tasks
+  exhausts the ``REPRO_TASK_RETRIES`` attempt budget
+  (:class:`~repro.service.jobs.TaskRetriesExhausted` delivered to that
+  job's mailbox alone; every other tenant's job keeps running), and
+  reports stay byte-identical across any crash schedule
+  (``tests/test_faults.py``).
 * **Admission control.**  Submissions enter a priority queue (tenant
   priority first, FIFO within a level) and at most ``max_active`` jobs
   run concurrently; per-tenant query quotas meter through one
@@ -65,7 +78,6 @@ import queue as queue_module
 import socket as socket_module
 import threading
 import time
-import traceback
 from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -78,7 +90,10 @@ from repro.service.jobs import (
     ProvisioningJob,
     SCHEDULERS,
     TaskEvent,
+    TaskRetriesExhausted,
     default_worker_count,
+    task_retry_budget,
+    task_timeout_seconds,
     validate_worker_count,
 )
 from repro.service.protocol import (
@@ -95,6 +110,11 @@ from repro.service.scheduler import (
     POLL_SECONDS,
     ProvisionTask,
     _context,
+    reap_slot,
+    run_task,
+    spawn_worker,
+    start_heartbeat,
+    wait_readable,
 )
 from repro.service.service import (
     FoundryService,
@@ -157,102 +177,142 @@ class ExperimentTask:
     def label(self) -> str:
         return self.name
 
+    def key(self) -> tuple:
+        """Stable identity for retry accounting and charge reservations."""
+        return ("experiment", self.position, self.name)
+
     def run(self):
         from repro.experiments.runner import REGISTRY
 
         return REGISTRY[self.name].execute(full=self.full)
 
 
-def _fleet_worker_loop(task_queue, result_queue) -> None:
-    """One persistent fleet worker: pull ``(ticket, context, task)``
-    items until the sentinel, re-initialising on context changes.
+def _fleet_worker_main(conn, heartbeat) -> None:
+    """One persistent fleet worker: receive ``(ticket, context, task,
+    task_id)`` items on its private duplex pipe until the sentinel,
+    re-initialising on context changes.
 
     Initialisation is the per-job scheduler's ``_worker_init`` plus the
     tenant meter install, so reports cannot depend on which worker (or
     whose fleet) ran a task — the daemon differential guard holds this
-    against the in-process service.
+    against the in-process service.  Before a metered task runs, its
+    charge reservation opens under ``task_id`` (see
+    :meth:`~repro.service.tenants.TenantMeter.begin_task`); the
+    *parent* settles it — commit on the result, rollback before a
+    retry — because the parent is the only survivor of every crash
+    schedule.
     """
     from repro.attacks.oracle import install_tenant_meter
     from repro.campaigns.campaign import _worker_init
 
+    start_heartbeat(heartbeat)
     current = None
+    meter = None
     while True:
-        item = task_queue.get()
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
         if item is None:
             return
-        ticket, context, task = item
+        ticket, context, task, task_id = item
         if context != current:
             _worker_init(context.backend, context.store_path)
             if context.meter_path is not None:
-                install_tenant_meter(
-                    TenantMeter(
-                        context.meter_path,
-                        context.max_queries,
-                        tenant=context.tenant,
-                    )
+                meter = TenantMeter(
+                    context.meter_path,
+                    context.max_queries,
+                    tenant=context.tenant,
                 )
             else:
-                install_tenant_meter(None)
+                meter = None
+            install_tenant_meter(meter)
             current = context
-        start = time.perf_counter()
-        try:
-            payload = task.run()
-        except BaseException:
-            result_queue.put(
-                (ticket, ("error", task, None, time.perf_counter() - start,
-                          traceback.format_exc()))
-            )
-            continue
-        result_queue.put(
-            (ticket, ("done", task, payload, time.perf_counter() - start, None))
-        )
+        if meter is not None:
+            meter.begin_task(task_id)
+        kind, task, payload, seconds, error = run_task(task)
+        conn.send((ticket, kind, task, payload, seconds, error))
+
+
+class _FleetItem:
+    """One unit of fleet work in flight: the submitting job's ticket,
+    the worker context, the task, and the id its charge reservation
+    and retry accounting live under."""
+
+    __slots__ = ("ticket", "context", "task", "task_id")
+
+    def __init__(self, ticket: int, context: TaskContext, task):
+        self.ticket = ticket
+        self.context = context
+        self.task = task
+        self.task_id = f"{ticket}:{task.key()!r}"
 
 
 class WorkerFleet:
-    """ONE persistent worker team every admitted job's tasks run on.
+    """ONE persistent, self-healing worker team every admitted job's
+    tasks run on.
 
     Unlike the per-job scheduler's teams (forked and reaped per job),
     the fleet forks once — at daemon startup, while the parent is
     still single-threaded — and serves tasks from many concurrent jobs
-    off one shared queue.  Each job opens a *ticket*: a registered
-    mailbox the router thread delivers that job's results to.  Results
-    for a closed ticket (a cancelled job's stragglers) are dropped —
-    at most the job's in-flight bound of tasks runs wastefully, and
-    every store write they made stays valid (deterministic values).
+    out of one shared ready pool.  Each job opens a *ticket*: a
+    registered mailbox the router thread delivers that job's results
+    to.  Results for a closed ticket (a cancelled job's stragglers)
+    are dropped — at most the job's in-flight bound of tasks runs
+    wastefully, and every store write they made stays valid
+    (deterministic values).
+
+    Supervision (mirroring :func:`~repro.service.scheduler.
+    run_stealing`): every worker hangs off its own duplex pipe, so the
+    router — which also dispatches and supervises, one thread owning
+    all slot state — knows exactly which item each worker holds.  A
+    dead worker (exit code) or a hung one (heartbeat silent past
+    ``REPRO_TASK_TIMEOUT``) is reaped and respawned, its item's tenant
+    charges are rolled back from the reservation journal, and the item
+    is requeued at the front of the pool; only when one task has
+    consumed the whole ``REPRO_TASK_RETRIES`` budget does its *own*
+    job fail (an ``"exhausted"`` mailbox message -> :class:`~repro.
+    service.jobs.TaskRetriesExhausted`) — every other job keeps
+    running.  Respawned workers fork from a threaded daemon (the same
+    trade multiprocessing.Pool makes); only the initial fleet needs
+    the single-threaded fork window.
     """
 
     def __init__(self, n_workers: int):
         validate_worker_count(n_workers, "fleet n_workers")
         self.n_workers = n_workers
         self._mp = _context()
-        self.task_queue = None
-        self.result_queue = None
-        self.workers: list = []
+        self.slots: list = []
+        self._ready: deque = deque()
+        self._attempts: dict[str, list] = {}
         self._mailboxes: dict[int, queue_module.Queue] = {}
         self._tickets = itertools.count(1)
         self._lock = threading.Lock()
         self._stop_event = threading.Event()
         self._router = None
+        self._wake_r = self._wake_w = None
+        self._failure: str | None = None
+        self._retry_budget = task_retry_budget()
+        self._watchdog = task_timeout_seconds()
+        self._barren_respawns = 0
+
+    @property
+    def workers(self) -> list:
+        """The live worker processes (diagnostics and tests)."""
+        return [slot.proc for slot in self.slots]
 
     def start(self) -> None:
         """Fork the workers (the caller must still be single-threaded),
-        then start the result-router thread."""
-        self.task_queue = self._mp.Queue()
-        self.result_queue = self._mp.Queue()
-        self.workers = [
-            self._mp.Process(
-                target=_fleet_worker_loop,
-                args=(self.task_queue, self.result_queue),
-                daemon=True,
-            )
-            for _ in range(self.n_workers)
-        ]
-        for worker in self.workers:
-            worker.start()
+        then start the router/dispatcher/supervisor thread."""
+        self.slots = [self._spawn() for _ in range(self.n_workers)]
+        self._wake_r, self._wake_w = os.pipe()
         self._router = threading.Thread(
             target=self._route, name="repro-fleet-router", daemon=True
         )
         self._router.start()
+
+    def _spawn(self):
+        return spawn_worker(self._mp, _fleet_worker_main, ())
 
     def open_ticket(self) -> tuple[int, queue_module.Queue]:
         with self._lock:
@@ -264,52 +324,187 @@ class WorkerFleet:
     def close_ticket(self, ticket: int) -> None:
         with self._lock:
             self._mailboxes.pop(ticket, None)
+            # Drop the ticket's queued work and retry history: no
+            # mailbox will ever collect it.
+            self._ready = deque(
+                item for item in self._ready if item.ticket != ticket
+            )
+            prefix = f"{ticket}:"
+            for task_id in [
+                t for t in self._attempts if t.startswith(prefix)
+            ]:
+                del self._attempts[task_id]
 
     def submit(self, ticket: int, context: TaskContext, task) -> None:
-        self.task_queue.put((ticket, context, task))
+        with self._lock:
+            self._ready.append(_FleetItem(ticket, context, task))
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._wake_w is not None:
+            try:
+                os.write(self._wake_w, b"x")
+            except OSError:
+                pass
 
     def check_alive(self) -> None:
-        """Raise :class:`JobFailed` when a worker died (outside an
-        orderly shutdown): a dead worker's task would never report and
-        its job would wait forever."""
+        """Raise :class:`JobFailed` when the fleet can no longer make
+        progress — not on a worker death (the router respawns those),
+        but on a respawn storm or a dead router, where a job's tasks
+        would otherwise wait forever."""
         if self._stop_event.is_set():
             return
-        dead = [w for w in self.workers if not w.is_alive()]
-        if dead:
-            raise JobFailed(
-                f"fleet worker died with exit code {dead[0].exitcode}"
+        if self._failure is not None:
+            raise JobFailed(self._failure)
+        if self._router is not None and not self._router.is_alive():
+            raise JobFailed("fleet router thread died")
+
+    def _deliver(self, ticket: int, message) -> None:
+        with self._lock:
+            mailbox = self._mailboxes.get(ticket)
+        if mailbox is not None:
+            mailbox.put(message)
+
+    def _meter(self, item: _FleetItem) -> TenantMeter | None:
+        if item.context.meter_path is None:
+            return None
+        return TenantMeter(
+            item.context.meter_path,
+            item.context.max_queries,
+            tenant=item.context.tenant,
+        )
+
+    def _settle(self, slot, message) -> None:
+        """One worker result: commit its charge reservation (the
+        charges stand — even for an ``"error"`` result, which spent
+        real measurements exactly as an in-process run would have) and
+        deliver it to the submitting job's mailbox."""
+        ticket, kind, task, payload, seconds, error = message
+        item, slot.item = slot.item, None
+        self._barren_respawns = 0
+        if item is not None:
+            meter = self._meter(item)
+            if meter is not None:
+                meter.commit_task(item.task_id)
+            self._attempts.pop(item.task_id, None)
+        self._deliver(ticket, (kind, task, payload, seconds, error))
+
+    def _reclaim(self, slot, note: str) -> None:
+        """A dead or hung worker's item: roll back its partial tenant
+        charges, then requeue it — or, once its attempt budget is
+        spent, fail its own job (and only its own job)."""
+        item, slot.item = slot.item, None
+        if item is None:
+            return
+        meter = self._meter(item)
+        if meter is not None:
+            meter.rollback_task(item.task_id)
+        notes = self._attempts.setdefault(item.task_id, [])
+        notes.append(note)
+        if len(notes) >= self._retry_budget:
+            del self._attempts[item.task_id]
+            self._deliver(
+                item.ticket,
+                ("exhausted", item.task, None, 0.0, list(notes)),
             )
+            return
+        with self._lock:
+            self._ready.appendleft(item)  # retry first: cells may gate on it
 
     def _route(self) -> None:
+        """The fleet's one owner thread: dispatch ready items to idle
+        workers, collect results, and supervise (reap, respawn,
+        requeue) — single-threaded slot state, no handoff races."""
+        from multiprocessing import connection
+
         while not self._stop_event.is_set():
-            try:
-                ticket, message = self.result_queue.get(timeout=POLL_SECONDS)
-            except queue_module.Empty:
-                continue
-            except (OSError, EOFError):  # queue torn down under us
-                return
             with self._lock:
-                mailbox = self._mailboxes.get(ticket)
-            if mailbox is not None:
-                mailbox.put(message)
+                for slot in self.slots:
+                    if slot.item is None and self._ready:
+                        item = self._ready.popleft()
+                        try:
+                            slot.conn.send(
+                                (item.ticket, item.context, item.task,
+                                 item.task_id)
+                            )
+                        except (OSError, ValueError):
+                            self._ready.appendleft(item)
+                            continue  # the sweep below reclaims the slot
+                        slot.item = item
+            waitable = [slot.conn for slot in self.slots] + [self._wake_r]
+            try:
+                readable = connection.wait(waitable, timeout=POLL_SECONDS)
+            except OSError:
+                readable = []
+            for conn in readable:
+                if conn == self._wake_r:  # the wake pipe is a raw fd
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                    continue
+                slot = next(s for s in self.slots if s.conn is conn)
+                try:
+                    message = slot.conn.recv()
+                except (EOFError, OSError):
+                    continue  # a death: the sweep below reclaims it
+                self._settle(slot, message)
+            for i, slot in enumerate(self.slots):  # supervision sweep
+                hung = slot.stale(self._watchdog)
+                if slot.proc.is_alive() and not hung:
+                    continue
+                if self._stop_event.is_set():
+                    return
+                # Drain first: a result sent just before dying settles
+                # normally — reclaiming it too would run it twice.
+                try:
+                    while slot.conn.poll():
+                        self._settle(slot, slot.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                note = reap_slot(
+                    slot,
+                    f"fleet worker hung (heartbeat silent > "
+                    f"{self._watchdog:g}s); killed" if hung else None,
+                )
+                self._barren_respawns += 1
+                if self._barren_respawns > 3 * len(self.slots) + \
+                        self._retry_budget:
+                    self._failure = (
+                        f"fleet workers died {self._barren_respawns} times "
+                        f"without completing a task (last: {note})"
+                    )
+                    self._reclaim(slot, note)
+                    return
+                self._reclaim(slot, note)
+                self.slots[i] = self._spawn()
 
     def shutdown(self) -> None:
         """Reap the fleet: sentinels, bounded joins, terminate
         stragglers (a stopping daemon must not leave orphans)."""
         self._stop_event.set()
-        if self.task_queue is not None:
-            for _ in self.workers:
-                try:
-                    self.task_queue.put(None)
-                except (OSError, ValueError):
-                    break
-        for worker in self.workers:
-            worker.join(timeout=5.0)
-            if worker.is_alive():
-                worker.terminate()
-                worker.join(timeout=5.0)
+        self._wake()
         if self._router is not None:
             self._router.join(timeout=5.0)
+        for slot in self.slots:
+            if slot.proc.is_alive():
+                try:
+                    slot.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+        for slot in self.slots:
+            slot.proc.join(timeout=5.0)
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=5.0)
+            slot.close()
+        for fd in (self._wake_r, self._wake_w):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._wake_r = self._wake_w = None
 
 
 def run_on_fleet(fleet: WorkerFleet, context: TaskContext, cell_tasks,
@@ -353,6 +548,11 @@ def run_on_fleet(fleet: WorkerFleet, context: TaskContext, cell_tasks,
                 fleet.check_alive()
                 continue
             inflight -= 1
+            if kind == "exhausted":
+                # This task's workers died/hung through its whole retry
+                # budget; only THIS job fails — the fleet healed itself
+                # and every other job keeps running.
+                raise TaskRetriesExhausted(task.label(), error)
             if kind == "error":
                 raise JobFailed(f"task {task.label()!r} failed:\n{error}")
             done += 1

@@ -27,6 +27,24 @@ from dataclasses import dataclass, field
 #: do not pin one (unset or empty means in-process execution).
 SERVICE_WORKERS_ENV = "REPRO_SERVICE_WORKERS"
 
+#: Environment variable naming the per-task attempt budget: a task
+#: whose worker dies or hangs is requeued and re-executed until it has
+#: consumed this many attempts, then fails its job with
+#: :class:`TaskRetriesExhausted`.  Unset or empty means the default.
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+#: Attempts per task when ``REPRO_TASK_RETRIES`` is unset: first
+#: execution plus two retries.
+DEFAULT_TASK_RETRIES = 3
+
+#: Environment variable naming the hung-worker watchdog threshold,
+#: seconds: a worker whose heartbeat has been silent this long while
+#: holding a task is killed, respawned, and its task requeued.  Unset,
+#: empty or 0 disables the watchdog.  Heartbeats tick while a task
+#: computes (a worker-side thread), so long tasks never trip it — only
+#: a genuinely frozen process does.
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
 #: The scheduler modes a campaign job may request.
 SCHEDULERS = ("stealing", "static")
 
@@ -43,6 +61,36 @@ class JobStatus(enum.Enum):
 
 class JobFailed(RuntimeError):
     """A task of the job raised; the message names the failing task."""
+
+
+class TaskRetriesExhausted(JobFailed):
+    """One task consumed its whole attempt budget (worker deaths,
+    hung-worker reclaims) without completing.
+
+    A single worker death no longer fails a job — the scheduler
+    respawns the worker and requeues the task — so reaching this
+    exception means *every* attempt was lost to infrastructure.  The
+    per-attempt failure descriptions ride along so the operator can see
+    whether the attempts died the same way (a task that reliably OOMs
+    its worker) or differently (a flaky host).
+
+    Attributes:
+        label: The failing task's label.
+        attempts: One human-readable description per lost attempt, in
+            order (exit codes for deaths, watchdog notes for hangs).
+    """
+
+    def __init__(self, label: str, attempts):
+        self.label = label
+        self.attempts = list(attempts)
+        lines = "\n".join(
+            f"  attempt {i}: {note}"
+            for i, note in enumerate(self.attempts, start=1)
+        )
+        super().__init__(
+            f"task {label!r} exhausted its {len(self.attempts)}-attempt "
+            f"retry budget ({TASK_RETRIES_ENV}):\n{lines}"
+        )
 
 
 class JobCancelled(RuntimeError):
@@ -81,6 +129,44 @@ def default_worker_count() -> int:
             f"got {raw!r}"
         )
     return n
+
+
+def task_retry_budget() -> int:
+    """Resolve the per-task attempt budget from ``REPRO_TASK_RETRIES``
+    (the worker-count convention: positive integer, valid range in the
+    error; unset or empty means :data:`DEFAULT_TASK_RETRIES`)."""
+    raw = os.environ.get(TASK_RETRIES_ENV)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_TASK_RETRIES
+    try:
+        n = int(raw)
+    except ValueError:
+        n = -1
+    if n < 1:
+        raise ValueError(
+            f"{TASK_RETRIES_ENV} must be a positive integer "
+            f"(valid range: >= 1, where 1 means no retries), got {raw!r}"
+        )
+    return n
+
+
+def task_timeout_seconds() -> float | None:
+    """Resolve the hung-worker watchdog threshold from
+    ``REPRO_TASK_TIMEOUT`` (seconds of heartbeat silence; unset, empty
+    or 0 disables the watchdog)."""
+    raw = os.environ.get(TASK_TIMEOUT_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        seconds = -1.0
+    if seconds < 0:
+        raise ValueError(
+            f"{TASK_TIMEOUT_ENV} must be a non-negative number of seconds "
+            f"(0 or unset disables the watchdog), got {raw!r}"
+        )
+    return seconds if seconds > 0 else None
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,8 @@ import json
 import os
 from pathlib import Path
 
-from repro.engine.store import CalibrationStore
+from repro import faults
+from repro.engine.store import CalibrationStore, ENTRY_MAGIC
 from repro.service.jobs import JournalMismatch
 
 #: Manifest file binding a journal directory to one job's cell list.
@@ -103,6 +104,13 @@ class JobJournal:
 
     def put_cell(self, index: int, label: str, report, seconds: float) -> None:
         """Persist one finished cell (atomic; audit-logged)."""
+        if faults.ENABLED and faults.fire("journal.torn_append"):
+            # A crash mid-append: the entry lands truncated and unlogged,
+            # so a resume treats this cell as unfinished and re-executes
+            # it — the result it re-derives is the identical value.
+            entry = self._tasks._entry(("cell", index))
+            entry.write_bytes(faults.torn(ENTRY_MAGIC + bytes(16)))
+            return
         self._tasks.put(("cell", index), (label, report, seconds), event=label)
 
     def get_cell(self, index: int):

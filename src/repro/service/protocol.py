@@ -28,6 +28,8 @@ import pickle
 import socket
 import struct
 
+from repro import faults
+
 #: Environment variable naming the daemon address (socket path or
 #: ``host:port``) for the daemon and every client.
 SERVICE_SOCKET_ENV = "REPRO_SERVICE_SOCKET"
@@ -59,7 +61,16 @@ def decode_payload(text: str):
 def send_frame(sock: socket.socket, obj: dict) -> None:
     """Send one length-prefixed JSON frame."""
     data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    packet = _HEADER.pack(len(data)) + data
+    if faults.ENABLED:
+        if faults.fire("frame.drop"):
+            # The frame vanishes and the connection tears, the way a
+            # mid-stream network failure looks to both peers.
+            raise faults.FaultInjected("fault injected: frame dropped")
+        if faults.fire("frame.truncate"):
+            sock.sendall(faults.torn(packet))
+            raise faults.FaultInjected("fault injected: frame truncated")
+    sock.sendall(packet)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:

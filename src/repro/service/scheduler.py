@@ -1,29 +1,47 @@
-"""Work-stealing task scheduler: a shared queue workers pull from.
+"""Work-stealing task scheduler with worker supervision.
 
 The campaign layer's original sharding mapped whole cells over a
 process pool — a static split that leaves workers idle whenever one
 die's attack dominates the wall clock, and serialises provisioning
 ahead of the whole attack phase.  This scheduler replaces that with a
-pull model: every unit of work (a die calibration, an attack cell) is
-a task on one shared queue, workers take the next task the moment they
-free up, and attack cells that need a die's calibration are *gated* —
-queued the instant their die's provisioning task completes, while
-straggler dies are still calibrating on other workers.  Imbalanced
-fleets therefore pack tightly (the dominant cell occupies one worker
-while the others drain the rest), and provisioning overlaps the attack
-phase instead of preceding it.
+work-conserving pull model: every unit of work (a die calibration, an
+attack cell) is a task in one shared ready pool, the next task goes to
+whichever worker frees up first, and attack cells that need a die's
+calibration are *gated* — released the instant their die's
+provisioning task completes, while straggler dies are still
+calibrating on other workers.  Imbalanced fleets therefore pack
+tightly (the dominant cell occupies one worker while the others drain
+the rest), and provisioning overlaps the attack phase instead of
+preceding it.
+
+Supervision: each worker is connected to the parent by its own duplex
+pipe, so the parent always knows exactly which task each worker holds
+— a dead worker (exit code) or a hung one (its heartbeat thread silent
+for ``REPRO_TASK_TIMEOUT`` seconds) is killed, respawned, and its task
+requeued, and the job only fails once one task has consumed the whole
+``REPRO_TASK_RETRIES`` attempt budget
+(:class:`~repro.service.jobs.TaskRetriesExhausted`, carrying the
+per-attempt failure notes).  Per-worker pipes are what make this
+airtight: assignment is parent-side state (no pickup-message race to
+lose a task in), and a worker killed mid-result tears only its own
+channel (a shared queue's writer lock dies with its holder and wedges
+every survivor).
 
 Determinism: tasks carry their cell index, results are journaled and
 assembled by index, every cell rebuilds its chip and seeds its own
 RNGs, and die calibrations are deterministic values read through the
 shared :class:`~repro.engine.store.CalibrationStore` — so the reports
-are bit-identical to a sequential run whatever the worker count or
-pull order (held differentially in ``tests/test_service.py``).
+are bit-identical to a sequential run whatever the worker count, the
+dispatch order *or the crash schedule*: a retried task re-executes
+identically (held differentially in ``tests/test_service.py`` and
+``tests/test_faults.py``).
 
 The ``static`` mode pre-assigns contiguous cell shards per worker
 (what naive sharding would do) and exists as the baseline the
 imbalanced-fleet benchmark in ``benchmarks/test_bench_campaign.py``
-guards the work-stealing speedup against.
+guards the work-stealing speedup against; it keeps the original
+unsupervised team (a dead worker fails the job), which is part of what
+the baseline measures against.
 """
 
 from __future__ import annotations
@@ -32,12 +50,23 @@ import multiprocessing
 import queue as queue_module
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 
-from repro.service.jobs import JobFailed
+from repro import faults
+from repro.service.jobs import (
+    JobFailed,
+    TaskRetriesExhausted,
+    task_retry_budget,
+    task_timeout_seconds,
+)
 
 #: Seconds between worker-liveness checks while awaiting results.
 POLL_SECONDS = 0.2
+
+#: Seconds between a worker's heartbeat ticks.  The watchdog threshold
+#: (``REPRO_TASK_TIMEOUT``) should be a comfortable multiple of this.
+HEARTBEAT_SECONDS = 0.5
 
 
 @dataclass(frozen=True)
@@ -50,6 +79,10 @@ class ProvisionTask:
     def label(self) -> str:
         lot_seed, chip_id, standard_index = self.triple
         return f"provision lot{lot_seed}/chip{chip_id}/std{standard_index}"
+
+    def key(self) -> tuple:
+        """Stable identity for retry accounting and charge reservations."""
+        return ("provision", self.triple)
 
     def run(self):
         from repro.campaigns.scenario import ChipSpec, provision_calibration
@@ -73,6 +106,10 @@ class CellTask:
 
     def label(self) -> str:
         return self.cell.label()
+
+    def key(self) -> tuple:
+        """Stable identity for retry accounting and charge reservations."""
+        return ("cell", self.index)
 
     def run(self):
         return self.cell.execute()
@@ -119,6 +156,144 @@ def _context():
     )
 
 
+# ---------------------------------------------------------------------------
+# Supervised workers (the stealing scheduler and the daemon fleet)
+# ---------------------------------------------------------------------------
+
+
+def start_heartbeat(heartbeat) -> None:
+    """Start the worker-side heartbeat: a daemon thread stamping
+    ``time.monotonic()`` into the shared double every
+    :data:`HEARTBEAT_SECONDS`.  It beats while a task computes (long
+    tasks never look hung) and freezes with the process when the
+    process freezes (``SIGSTOP``, a wedged syscall) — which is exactly
+    the signal the parent's watchdog reclaims on.
+
+    The shared value is lock-free (a raw aligned double; torn
+    reads/writes don't occur on the platforms the fork context runs
+    on): a lock would hand a killed worker a way to wedge the parent.
+    """
+    import threading
+
+    def beat():
+        while True:
+            heartbeat.value = time.monotonic()
+            time.sleep(HEARTBEAT_SECONDS)
+
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+
+
+def run_task(task):
+    """Execute one task under the fault-injection points every
+    supervised worker threads through: ``task.hang`` freezes the
+    process instead of running (nothing mutated — the watchdog must
+    reclaim), ``task.crash_before_report`` kills the process after the
+    task ran but before its result message exists (the supervisor must
+    requeue).  Returns a ``(kind, task, payload, seconds, error)``
+    result tuple."""
+    if faults.ENABLED and faults.fire("task.hang"):
+        faults.hang()
+    start = time.perf_counter()
+    try:
+        payload = task.run()
+    except BaseException:
+        return ("error", task, None, time.perf_counter() - start,
+                traceback.format_exc())
+    if faults.ENABLED and faults.fire("task.crash_before_report"):
+        faults.crash()
+    return ("done", task, payload, time.perf_counter() - start, None)
+
+
+def _supervised_worker_main(conn, heartbeat, backend, store_path) -> None:
+    """One supervised worker: receive tasks on its private duplex pipe,
+    send one result tuple back per task, exit on the None sentinel (or
+    the parent's end of the pipe closing).  Initialisation matches the
+    campaign layer exactly, so reports cannot depend on which worker —
+    or which *attempt* — ran a cell."""
+    from repro.campaigns.campaign import _worker_init
+
+    _worker_init(backend, store_path)
+    start_heartbeat(heartbeat)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        conn.send(run_task(task))
+
+
+class WorkerSlot:
+    """Parent-side record of one supervised worker: its process, the
+    parent end of its private pipe, its heartbeat, and — the heart of
+    supervision — exactly which task it currently holds."""
+
+    def __init__(self, proc, conn, heartbeat):
+        self.proc = proc
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.item = None  # the dispatched work, parent-defined shape
+
+    def stale(self, timeout: float | None) -> bool:
+        """Has the heartbeat been silent past the watchdog threshold
+        while a task is assigned?"""
+        return (
+            timeout is not None
+            and self.item is not None
+            and time.monotonic() - self.heartbeat.value > timeout
+        )
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def spawn_worker(ctx, target, args) -> WorkerSlot:
+    """Fork one supervised worker connected by a fresh duplex pipe.
+    ``target`` receives ``(child_conn, heartbeat, *args)``."""
+    parent_conn, child_conn = ctx.Pipe()
+    heartbeat = ctx.Value("d", time.monotonic(), lock=False)
+    proc = ctx.Process(
+        target=target, args=(child_conn, heartbeat) + tuple(args), daemon=True
+    )
+    proc.start()
+    child_conn.close()  # ours alone now lives in the child
+    return WorkerSlot(proc, parent_conn, heartbeat)
+
+
+def reap_slot(slot: WorkerSlot, note_hung: str | None) -> str:
+    """Put a dead or hung worker fully out of its misery and describe
+    what happened (the per-attempt note).  ``note_hung`` is the
+    watchdog's description when the worker is being reclaimed for
+    heartbeat silence rather than death."""
+    if note_hung is not None and slot.proc.is_alive():
+        slot.proc.kill()  # SIGKILL: works on a SIGSTOPped process too
+    slot.proc.join(timeout=5.0)
+    if slot.proc.is_alive():  # pragma: no cover - kill cannot be refused
+        slot.proc.terminate()
+        slot.proc.join(timeout=5.0)
+    slot.close()
+    if note_hung is not None:
+        return note_hung
+    return f"worker died with exit code {slot.proc.exitcode}"
+
+
+def wait_readable(slots, timeout: float):
+    """The slots whose pipes are readable (a result, or EOF from a
+    death) within ``timeout`` seconds."""
+    from multiprocessing import connection
+
+    by_conn = {slot.conn: slot for slot in slots}
+    try:
+        readable = connection.wait(list(by_conn), timeout=timeout)
+    except OSError:  # a pipe torn down mid-wait: the sweep will see it
+        return []
+    return [by_conn[conn] for conn in readable]
+
+
 def _collect(workers, result_queue, n_pending):
     """Yield ``(task, payload, seconds)`` for every pending task,
     failing the job if a worker dies or a task raises."""
@@ -154,13 +329,22 @@ def _shutdown(workers, graceful: bool) -> None:
 
 def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
                  backend, store_path):
-    """Drive a work-stealing round: yields one ``(task, payload,
-    seconds)`` per completed task, in completion order.
+    """Drive a supervised work-stealing round: yields one ``(task,
+    payload, seconds)`` per completed task, in completion order.
 
     ``cell_triples`` maps cell index -> set of provisioning triples the
-    cell is gated on; gated cells enqueue the moment their last triple
+    cell is gated on; gated cells release the moment their last triple
     completes, so early-calibrated dies unblock their attack cells
     while stragglers are still calibrating.
+
+    A worker that dies or hangs mid-task is reaped, respawned, and its
+    task requeued at the *front* of the ready pool (retries first:
+    downstream gating may be waiting on it); the round fails with
+    :class:`~repro.service.jobs.TaskRetriesExhausted` only once one
+    task has consumed its whole ``REPRO_TASK_RETRIES`` budget.  A task
+    that *raises* still fails the round immediately — tasks are pure
+    functions of their pickled selves, so a Python exception would
+    simply raise again on retry.
     """
     blocked = {
         task.index: set(cell_triples.get(task.index, ()))
@@ -171,39 +355,103 @@ def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
         for triple in blocked[task.index]:
             waiters.setdefault(triple, []).append(task)
     n_tasks = len(cell_tasks) + len(provision_tasks)
+    retry_budget = task_retry_budget()
+    watchdog = task_timeout_seconds()
+    ready = deque(provision_tasks)  # provisioning first: it unblocks cells
+    ready.extend(task for task in cell_tasks if not blocked[task.index])
     ctx = _context()
-    task_queue, result_queue = ctx.Queue(), ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker_loop,
-            args=(None, task_queue, result_queue, backend, store_path),
-            daemon=True,
+
+    def spawn():
+        return spawn_worker(
+            ctx, _supervised_worker_main, (backend, store_path)
         )
-        for _ in range(max(1, min(n_workers, n_tasks)))
-    ]
-    for worker in workers:
-        worker.start()
+
+    slots = [spawn() for _ in range(max(1, min(n_workers, n_tasks)))]
+    attempts: dict[tuple, list] = {}
+    done = 0
     graceful = False
+    # Workers dying before they ever hold a task (a broken backend
+    # import, a bad store path) never consume any task's retry budget,
+    # so bound them separately or a crash-at-init would respawn forever.
+    respawns_without_progress = 0
+    max_barren_respawns = 3 * len(slots) + retry_budget
+
+    def settle(slot, message):
+        """One result message: free the slot, unblock gated cells."""
+        nonlocal done, respawns_without_progress
+        respawns_without_progress = 0
+        kind, task, payload, seconds, error = message
+        slot.item = None
+        if kind == "error":
+            raise JobFailed(f"task {task.label()!r} failed:\n{error}")
+        done += 1
+        if isinstance(task, ProvisionTask):
+            for waiter in waiters.pop(task.triple, ()):
+                pending = blocked[waiter.index]
+                pending.discard(task.triple)
+                if not pending:
+                    ready.append(waiter)
+        return task, payload, seconds
+
     try:
-        # Provisioning first: it unblocks the most downstream work.
-        for task in provision_tasks:
-            task_queue.put(task)
-        for task in cell_tasks:
-            if not blocked[task.index]:
-                task_queue.put(task)
-        for task, payload, seconds in _collect(workers, result_queue, n_tasks):
-            if isinstance(task, ProvisionTask):
-                for waiter in waiters.pop(task.triple, ()):
-                    pending = blocked[waiter.index]
-                    pending.discard(task.triple)
-                    if not pending:
-                        task_queue.put(waiter)
-            yield task, payload, seconds
-        for _ in workers:
-            task_queue.put(None)
+        while done < n_tasks:
+            for slot in slots:  # dispatch to every idle worker
+                if slot.item is None and ready:
+                    task = ready.popleft()
+                    try:
+                        slot.conn.send(task)
+                    except (OSError, ValueError):
+                        ready.appendleft(task)  # sweep reclaims the slot
+                        continue
+                    slot.item = task
+            for slot in wait_readable(slots, timeout=POLL_SECONDS):
+                try:
+                    message = slot.conn.recv()
+                except (EOFError, OSError):
+                    continue  # a death: the sweep below reclaims it
+                yield settle(slot, message)
+            for i, slot in enumerate(slots):  # supervision sweep
+                hung = slot.stale(watchdog)
+                if slot.proc.is_alive() and not hung:
+                    continue
+                # Drain first: a result sent just before dying settles
+                # normally — reclaiming it too would run it twice.
+                try:
+                    while slot.conn.poll():
+                        yield settle(slot, slot.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                note = reap_slot(
+                    slot,
+                    f"worker hung (heartbeat silent > {watchdog:g}s); "
+                    f"killed" if hung else None,
+                )
+                task, slot.item = slot.item, None
+                respawns_without_progress += 1
+                if respawns_without_progress > max_barren_respawns:
+                    raise JobFailed(
+                        f"workers died {respawns_without_progress} times "
+                        f"without completing a task (last: {note}); "
+                        f"giving up instead of respawning forever"
+                    )
+                slots[i] = spawn()
+                if task is not None:
+                    notes = attempts.setdefault(task.key(), [])
+                    notes.append(note)
+                    if len(notes) >= retry_budget:
+                        raise TaskRetriesExhausted(task.label(), notes)
+                    ready.appendleft(task)  # retry first: others may gate on it
+        for slot in slots:
+            if slot.proc.is_alive():
+                try:
+                    slot.conn.send(None)
+                except (OSError, ValueError):
+                    pass
         graceful = True
     finally:
-        _shutdown(workers, graceful)
+        _shutdown([slot.proc for slot in slots], graceful)
+        for slot in slots:
+            slot.close()
 
 
 def run_static(cell_tasks, n_workers, backend, store_path):

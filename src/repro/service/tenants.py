@@ -26,11 +26,13 @@ then writes through both meters atomically.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.attacks.oracle import QueryBudgetExceeded
 
 try:  # POSIX: the kernel releases a crashed holder's flock for us.
@@ -86,6 +88,22 @@ def parse_tenant_spec(spec: str) -> TenantConfig:
     return TenantConfig(name=name, priority=priority, max_queries=max_queries)
 
 
+def reservation_path(meter_path: str | os.PathLike, task_id: str) -> Path:
+    """Where ``task_id``'s charge-reservation journal lives, for a
+    given meter file — shared by the worker that writes it and the
+    parent that settles it."""
+    meter_path = Path(meter_path)
+    digest = hashlib.sha256(task_id.encode()).hexdigest()[:16]
+    return meter_path.parent / f"{meter_path.name}.r-{digest}"
+
+
+def _read_count(path: Path) -> int:
+    try:
+        return int(path.read_text() or "0")
+    except (OSError, ValueError):
+        return 0
+
+
 class TenantMeter:
     """File-backed atomic query meter shared by every process of a
     tenant's jobs.
@@ -110,6 +128,7 @@ class TenantMeter:
         self.max_queries = max_queries
         self.tenant = tenant
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._reservation: Path | None = None
 
     # -- locking ----------------------------------------------------------
 
@@ -159,6 +178,13 @@ class TenantMeter:
         Raises :class:`QueryBudgetExceeded` with the meter un-advanced
         when the chunk does not fit the tenant's remaining quota —
         at the same per-tenant count whichever job or worker placed it.
+
+        Inside a task reservation (:meth:`begin_task`), an admitted
+        chunk is recorded in the reservation file *before* the main
+        count advances, both under the same lock: if this process is
+        killed between the two writes, a later :meth:`rollback_task`
+        refunds at most what actually landed — the meter can undercount
+        a crashed task by one torn chunk, but never double-charge it.
         """
         if n < 0:
             raise ValueError(f"cannot charge a negative batch, got {n}")
@@ -174,6 +200,66 @@ class TenantMeter:
                     f"{self.max_queries} measurements exhausted "
                     f"({count} spent, {n} more requested)"
                 )
+            if self._reservation is not None:
+                reserved = _read_count(self._reservation)
+                self._reservation.write_text(f"{reserved + n}\n")
             self.path.write_text(f"{count + n}\n")
+        finally:
+            self._release(fd)
+        if faults.ENABLED and faults.fire("task.crash_after_charge"):
+            faults.crash()
+
+    # -- per-task charge reservations -------------------------------------
+    #
+    # The one stateful hazard of retrying a task: a worker that died
+    # mid-task has already advanced this meter by its partial charges,
+    # and the retry would charge them again.  Workers therefore journal
+    # every charge into a per-task reservation file (same lock, same
+    # directory), and the *parent* — the only survivor of any crash
+    # schedule — settles it: commit (drop the journal, charges stand)
+    # when the task's result arrives, rollback (refund the journaled
+    # amount) before requeueing a reclaimed task.
+
+    def begin_task(self, task_id: str) -> None:
+        """Start journaling this process's charges under ``task_id``
+        (worker-side, before the task runs).  Any stale journal for the
+        same id was settled by the parent before the retry started."""
+        self._reservation = reservation_path(self.path, task_id)
+        fd = self._acquire()
+        try:
+            self._reservation.write_text("0\n")
+        finally:
+            self._release(fd)
+
+    def commit_task(self, task_id: str) -> None:
+        """Settle ``task_id``'s reservation as spent (parent-side, on
+        the task's result): the charges stand, the journal is dropped."""
+        fd = self._acquire()
+        try:
+            try:
+                os.unlink(reservation_path(self.path, task_id))
+            except OSError:
+                pass
+        finally:
+            self._release(fd)
+
+    def rollback_task(self, task_id: str) -> int:
+        """Refund ``task_id``'s journaled charges (parent-side, before
+        requeueing a task reclaimed from a dead or hung worker); returns
+        the number of measurements refunded.  Idempotent: a second
+        rollback — or a rollback racing a commit — finds no journal and
+        refunds nothing."""
+        reservation = reservation_path(self.path, task_id)
+        fd = self._acquire()
+        try:
+            reserved = _read_count(reservation)
+            if reserved:
+                count = self._read()
+                self.path.write_text(f"{max(0, count - reserved)}\n")
+            try:
+                os.unlink(reservation)
+            except OSError:
+                pass
+            return reserved
         finally:
             self._release(fd)

@@ -545,6 +545,84 @@ class TestDaemonLifecycle:
         assert client.ping()["ok"] is True
 
 
+class TestDaemonRobustness:
+    """Malformed wire input must cost the daemon one connection at
+    most: an error frame or a closed socket, never a dead service."""
+
+    def _raw(self, daemon):
+        from repro.service.protocol import connect
+
+        sock = connect(daemon.address, timeout=10)
+        sock.settimeout(10)
+        return sock
+
+    def _reads_as_closed(self, sock) -> bool:
+        try:
+            return sock.recv(1 << 16) == b""
+        except OSError:
+            return True  # reset counts as closed too
+
+    def test_oversized_length_prefix_closes_connection(self, daemon_factory):
+        daemon = daemon_factory("rob1", n_workers=1)
+        sock = self._raw(daemon)
+        try:
+            sock.sendall(b"\xff\xff\xff\xff")  # promises ~4 GiB
+            assert self._reads_as_closed(sock)
+        finally:
+            sock.close()
+        assert DaemonClient(socket=daemon.address).ping()["ok"] is True
+
+    def test_truncated_frame_closes_connection(self, daemon_factory):
+        daemon = daemon_factory("rob2", n_workers=1)
+        sock = self._raw(daemon)
+        try:
+            sock.sendall(b"\x00\x00\x00\x64{\"op\":")  # 100 promised, 7 sent
+            sock.shutdown(socket_module.SHUT_WR)
+            assert self._reads_as_closed(sock)
+        finally:
+            sock.close()
+        assert DaemonClient(socket=daemon.address).ping()["ok"] is True
+
+    def test_non_json_body_closes_connection(self, daemon_factory):
+        daemon = daemon_factory("rob3", n_workers=1)
+        sock = self._raw(daemon)
+        try:
+            body = b"\x80\x04not json at all"
+            sock.sendall(len(body).to_bytes(4, "big") + body)
+            assert self._reads_as_closed(sock)
+        finally:
+            sock.close()
+        assert DaemonClient(socket=daemon.address).ping()["ok"] is True
+
+    def test_unknown_op_answers_error_frame_and_keeps_serving(
+        self, daemon_factory
+    ):
+        daemon = daemon_factory("rob4", n_workers=1)
+        sock = self._raw(daemon)
+        try:
+            send_frame(sock, {"op": "frobnicate"})
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert "unknown op" in reply["error"]
+            # The same connection still serves well-formed requests.
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["ok"] is True
+        finally:
+            sock.close()
+        assert DaemonClient(socket=daemon.address).ping()["ok"] is True
+
+    def test_non_object_frame_closes_connection(self, daemon_factory):
+        daemon = daemon_factory("rob5", n_workers=1)
+        sock = self._raw(daemon)
+        try:
+            body = b"[1,2,3]"  # valid JSON, not a frame object
+            sock.sendall(len(body).to_bytes(4, "big") + body)
+            assert self._reads_as_closed(sock)
+        finally:
+            sock.close()
+        assert DaemonClient(socket=daemon.address).ping()["ok"] is True
+
+
 class TestStartupSweep:
     def test_startup_sweeps_crashed_holder_locks(self, tmp_path):
         """Satellite: a killed daemon's get_or_set lock debris in the
