@@ -13,7 +13,12 @@ form scripts can diff, not just the pytest-benchmark table.
 Guarded speedup benchmarks that a host cannot run (too few CPUs, no
 compiler, no SIMD lanes) are exported as explicit ``skipped: <reason>``
 records rather than silently vanishing: a 1-CPU CI host must be
-distinguishable from a perf regression in the trajectory diff.
+distinguishable from a perf regression in the trajectory diff.  Skip
+records additionally carry the last recorded figures for that
+benchmark (``last_recorded``: speedup, wall time, CPU count), read
+from the previous export before it is overwritten — so a multi-core
+measurement survives a string of single-core exports and the
+trajectory diff always has *something* to compare against.
 """
 
 import json
@@ -67,6 +72,37 @@ def pytest_runtest_logreport(report):
         _skipped_benchmarks.append((report.nodeid, reason))
 
 
+def _last_recorded(path: str) -> dict:
+    """Measured figures per benchmark name from the previous export.
+
+    A benchmark that *ran* contributes its own figures; a skip record
+    passes its ``last_recorded`` through unchanged, so a real
+    measurement chains across any number of consecutive skipping hosts
+    until the benchmark runs again.
+    """
+    try:
+        with open(path) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    figures_by_name: dict = {}
+    for record in previous.get("benchmarks", []):
+        name = record.get("name")
+        if not name:
+            continue
+        if record.get("skipped"):
+            figures = record.get("last_recorded")
+        else:
+            figures = {
+                key: record[key]
+                for key in ("speedup", "wall_seconds", "cpu_count")
+                if record.get(key) is not None
+            }
+        if figures:
+            figures_by_name[name] = figures
+    return figures_by_name
+
+
 def _resolved_backend() -> str:
     """What the default engine's backend actually runs as."""
     from repro.engine import get_default_engine, kernel_available
@@ -113,16 +149,20 @@ def pytest_sessionfinish(session, exitstatus):
                 "extra_info": extra,
             }
         )
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_results.json")
+    last_recorded = _last_recorded(path) if _skipped_benchmarks else {}
     for nodeid, reason in _skipped_benchmarks:
-        records.append(
-            {
-                "name": nodeid.split("::", 1)[-1],
-                "group": _bench_group(nodeid),
-                "skipped": reason or "skipped",
-                "backend": resolved,
-                "cpu_count": cpus,
-            }
-        )
+        name = nodeid.split("::", 1)[-1]
+        record = {
+            "name": name,
+            "group": _bench_group(nodeid),
+            "skipped": reason or "skipped",
+            "backend": resolved,
+            "cpu_count": cpus,
+        }
+        if name in last_recorded:
+            record["last_recorded"] = last_recorded[name]
+        records.append(record)
     payload = {
         "schema": "repro-bench-results/1",
         "exit_status": int(exitstatus),
@@ -136,7 +176,6 @@ def pytest_sessionfinish(session, exitstatus):
         "engine_simd_env": os.environ.get("REPRO_ENGINE_SIMD"),
         "benchmarks": records,
     }
-    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_results.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -15,8 +15,29 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attacks.cost import AttackCostModel, format_years
-from repro.attacks.oracle import MeasurementOracle
+from repro.attacks.oracle import MeasurementOracle, speculative_snr_batch
 from repro.receiver.config import KEY_BITS, ConfigWord
+
+
+def draw_random_keys(rng: np.random.Generator, n: int) -> list[ConfigWord]:
+    """The next ``n`` keys of the brute-force key stream.  The stream is
+    a pure function of the RNG state and is independent of how the
+    search chunks its measurements — which is what makes key-range
+    sub-tasks replayable: any consumer that skips ``start`` draws sees
+    exactly the keys the scalar search would draw at that offset."""
+    return [ConfigWord.random(rng) for _ in range(n)]
+
+
+def score_key_range(oracle, seed: int, start: int, count: int) -> list[float]:
+    """Speculatively score keys ``start .. start+count`` of the key
+    stream seeded by ``seed`` — *unmetered* (see
+    :func:`~repro.attacks.oracle.speculative_snr_batch`); the parent's
+    replay commits the charges in sequential order.  A pure function of
+    its arguments, so sub-task retries are trivially safe."""
+    rng = np.random.default_rng(seed)
+    draw_random_keys(rng, start)  # burn to the range's stream offset
+    keys = draw_random_keys(rng, count)
+    return speculative_snr_batch(oracle, keys)
 
 
 @dataclass
@@ -90,7 +111,7 @@ class BruteForceAttack:
                 # Never pre-charge past the budget; a 1-key chunk lets
                 # the oracle raise exactly at the budget boundary.
                 chunk_size = max(min(chunk_size, remaining), 1)
-            chunk = [ConfigWord.random(self.rng) for _ in range(chunk_size)]
+            chunk = draw_random_keys(self.rng, chunk_size)
             snrs = self.oracle.snr_batch(chunk)
             trials += len(chunk)
             for key, snr in zip(chunk, snrs):

@@ -49,19 +49,28 @@ def _fitness(oracle: MeasurementOracle, key: ConfigWord, sfdr_weight: float) -> 
     return score
 
 
+def blend_fitness(
+    snrs, sfdrs, sfdr_weight: float, sfdr_min_db: float
+) -> list[float]:
+    """The blended SNR/SFDR fitness from raw measurement values —
+    shared between the live batched path and the partition plan's
+    replay of speculatively measured slices."""
+    if sfdr_weight > 0.0:
+        return [
+            score + sfdr_weight * min(0.0, sfdr - sfdr_min_db)
+            for score, sfdr in zip(snrs, sfdrs)
+        ]
+    return list(snrs)
+
+
 def _fitness_batch(
     oracle: MeasurementOracle, keys: list[ConfigWord], sfdr_weight: float
 ) -> list[float]:
     """Population fitness through the oracle's batched measurements."""
     scores = oracle.snr_batch(keys)
-    if sfdr_weight > 0.0:
-        sfdr_min = oracle.spec().sfdr_min_db
-        sfdrs = oracle.sfdr_batch(keys)
-        scores = [
-            score + sfdr_weight * min(0.0, sfdr - sfdr_min)
-            for score, sfdr in zip(scores, sfdrs)
-        ]
-    return scores
+    sfdrs = oracle.sfdr_batch(keys) if sfdr_weight > 0.0 else None
+    sfdr_min = oracle.spec().sfdr_min_db if sfdr_weight > 0.0 else 0.0
+    return blend_fitness(scores, sfdrs, sfdr_weight, sfdr_min)
 
 
 @dataclass
@@ -153,22 +162,35 @@ class GeneticAttack:
         ]
         return key.flip_bits(flips) if flips else key
 
+    def initial_population(self) -> list[ConfigWord]:
+        """Generation 0, drawn from the attack's RNG.  A pure function
+        of the RNG state: the partition plan draws the identical
+        population the scalar attack's replay will re-draw."""
+        return [ConfigWord.random(self.rng) for _ in range(self.population_size)]
+
+    def breed(self, ranked) -> list[ConfigWord]:
+        """The next generation from a ``(score, key)`` ranking —
+        elitism, tournament-free parent pool, uniform crossover and bit
+        mutation, consuming the attack's RNG in a fixed per-child order
+        so breeding is replayable from identical rankings."""
+        parents = [k for _, k in ranked[: max(self.population_size // 2, 2)]]
+        next_pop = [k for _, k in ranked[: self.elite]]
+        while len(next_pop) < self.population_size:
+            a, b = self.rng.choice(len(parents), size=2, replace=False)
+            next_pop.append(self._mutate(self._crossover(parents[a], parents[b])))
+        return next_pop
+
     def run(self, n_generations: int) -> OptimizationOutcome:
         """Evolve for ``n_generations`` generations."""
         spec = self.oracle.spec()
-        population = [ConfigWord.random(self.rng) for _ in range(self.population_size)]
+        population = self.initial_population()
         scores = _fitness_batch(self.oracle, population, self.sfdr_weight)
         history = [max(scores)]
         for _ in range(n_generations):
             ranked = sorted(zip(scores, population), key=lambda t: -t[0])
             if ranked[0][0] >= spec.snr_min_db and self.oracle.unlocks(ranked[0][1]):
                 break
-            parents = [k for _, k in ranked[: max(self.population_size // 2, 2)]]
-            next_pop = [k for _, k in ranked[: self.elite]]
-            while len(next_pop) < self.population_size:
-                a, b = self.rng.choice(len(parents), size=2, replace=False)
-                next_pop.append(self._mutate(self._crossover(parents[a], parents[b])))
-            population = next_pop
+            population = self.breed(ranked)
             scores = _fitness_batch(self.oracle, population, self.sfdr_weight)
             history.append(max(max(scores), history[-1]))
         best_idx = int(np.argmax(scores))

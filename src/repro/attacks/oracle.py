@@ -203,3 +203,86 @@ class MeasurementOracle:
             return False
         snr_rx = self.receiver_snr(key)
         return spec.meets(snr_db=snr_mod, snr_rx_db=snr_rx)
+
+
+# ---------------------------------------------------------------------------
+# Speculative measurement (partitioned sub-tasks) and scripted replay
+# ---------------------------------------------------------------------------
+
+
+def speculative_snr_batch(oracle, keys: Sequence[ConfigWord]) -> list[float]:
+    """The measurement values :meth:`MeasurementOracle.snr_batch` would
+    return — *without* charging either the oracle budget or an installed
+    tenant meter.  Sub-tasks score their slices with this; every charge
+    commits later, in replay order, when the parent's assembly replays
+    the scalar attack against the script (see :class:`ScriptedOracle`)."""
+    measurements = measure_modulator_snr_batch(
+        oracle.chip, keys, oracle.standard, n_fft=oracle.n_fft,
+        seed=oracle.seed,
+    )
+    return [m.snr_db for m in measurements]
+
+
+def speculative_sfdr_batch(oracle, keys: Sequence[ConfigWord]) -> list[float]:
+    """Unmetered :meth:`MeasurementOracle.sfdr_batch` values; see
+    :func:`speculative_snr_batch`."""
+    measurements = measure_sfdr_batch(
+        oracle.chip, keys, oracle.standard, n_fft=oracle.n_fft,
+        seed=oracle.seed,
+    )
+    return [m.sfdr_db for m in measurements]
+
+
+class ScriptedOracle:
+    """A metering oracle whose batched measurements are served from
+    pre-computed scripts — the replay half of speculative sub-tasks.
+
+    Charges are *identical* to the wrapped oracle's: every ``snr_batch``
+    / ``sfdr_batch`` call charges the oracle budget and any installed
+    tenant meter atomically before serving, so ``n_queries``, meter
+    totals and the :class:`QueryBudgetExceeded` refusal point land
+    exactly where the unscripted attack's would.  Only the measurement
+    *computation* is skipped — the values were produced by sub-tasks
+    running the same ``measure_*_batch`` calls on identical inputs.
+
+    The scripts are flat value streams consumed by a cursor: the replay
+    makes the same calls in the same order the speculation anticipated,
+    so positional serving is exact.  If a script runs dry (speculation
+    stopped short — e.g. a deceptive key pushed the search past the
+    speculated horizon), the remainder is measured live through the
+    same engine calls, preserving bit-exactness.  Everything else
+    (``unlocks``, ``receiver_snr``, ``spec``, budget state) delegates
+    to the wrapped oracle.
+    """
+
+    def __init__(self, oracle: MeasurementOracle, snrs=(), sfdrs=()):
+        self._oracle = oracle
+        self._snrs = list(snrs)
+        self._sfdrs = list(sfdrs)
+        self._snr_pos = 0
+        self._sfdr_pos = 0
+
+    def snr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
+        self._oracle.charge_batch(len(keys), self._oracle.cost_model.snr_seconds)
+        return self._serve(
+            keys, self._snrs, "_snr_pos",
+            lambda rest: speculative_snr_batch(self._oracle, rest),
+        )
+
+    def sfdr_batch(self, keys: Sequence[ConfigWord]) -> list[float]:
+        self._oracle.charge_batch(len(keys), self._oracle.cost_model.sfdr_seconds)
+        return self._serve(
+            keys, self._sfdrs, "_sfdr_pos",
+            lambda rest: speculative_sfdr_batch(self._oracle, rest),
+        )
+
+    def _serve(self, keys, script, pos_attr, measure):
+        pos = getattr(self, pos_attr)
+        served = list(script[pos:pos + len(keys)])
+        setattr(self, pos_attr, pos + len(served))
+        if len(served) < len(keys):
+            served.extend(measure(keys[len(served):]))
+        return served
+
+    def __getattr__(self, name):
+        return getattr(self._oracle, name)

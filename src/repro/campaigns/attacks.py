@@ -23,10 +23,19 @@ from typing import Callable, ClassVar
 
 import numpy as np
 
-from repro.attacks.brute_force import BruteForceAttack
+from repro.attacks.brute_force import BruteForceAttack, score_key_range
 from repro.attacks.cost import AttackCostModel
-from repro.attacks.optimization import GeneticAttack, SimulatedAnnealingAttack
-from repro.attacks.oracle import QueryBudgetExceeded
+from repro.attacks.optimization import (
+    GeneticAttack,
+    SimulatedAnnealingAttack,
+    blend_fitness,
+)
+from repro.attacks.oracle import (
+    QueryBudgetExceeded,
+    ScriptedOracle,
+    speculative_sfdr_batch,
+    speculative_snr_batch,
+)
 from repro.attacks.removal import removal_attack
 from repro.attacks.sat_attack import (
     SatAttackNotApplicable,
@@ -41,6 +50,7 @@ from repro.campaigns.scenario import (
     ThreatScenario,
     provision_calibration,
 )
+from repro.locking.specs import PerformanceSpec
 from repro.receiver.config import ConfigWord
 
 
@@ -67,6 +77,32 @@ class Attack(abc.ABC):
         pay for calibrations no cell performs.
         """
         return []
+
+    def partition(self, scenario: ThreatScenario):
+        """A partition plan splitting this attack's measurement work
+        into speculative sub-tasks, or None when the attack runs as one
+        scalar cell (the default: not every attack decomposes).
+
+        A plan implements three methods the scheduler drives:
+        ``initial_parts() -> [(part_id, part)]`` (the first fan-out;
+        each part is a picklable object whose ``run(cell)`` computes
+        *unmetered* measurement values), ``absorb(part_id, payload) ->
+        [(part_id, part)]`` (fold one result back in, possibly fanning
+        out further — e.g. the next GA generation), and ``script() ->
+        dict`` (the measurement streams for the replay, once no part is
+        outstanding).  The plan object lives in the scheduling parent
+        only; parts and the script cross process boundaries.
+        """
+        return None
+
+    def execute_scripted(
+        self, scenario: ThreatScenario, script
+    ) -> AttackReport:
+        """Replay the attack with measurements served from a partition
+        plan's ``script()`` — the sequential accept-order replay that
+        commits every oracle/tenant charge in the scalar attack's
+        order.  Attacks without a partition plan ignore the script."""
+        return self.execute(scenario)
 
     # -- shared report builders -------------------------------------------
 
@@ -107,33 +143,57 @@ class BruteForce(Attack):
 
     name: ClassVar[str] = "brute-force"
     batch_size: int = 16
+    #: Keys per speculative sub-task; 0 keeps the cell scalar.
+    subtask_keys: int = 0
 
     def execute(self, scenario: ThreatScenario) -> AttackReport:
-        rng = np.random.default_rng(scenario.seed)
         if scenario.scheme == FABRIC:
-            oracle = scenario.oracle()
-            attack = BruteForceAttack(oracle, rng=rng, batch_size=self.batch_size)
-            try:
-                outcome = attack.run(scenario.budget)
-            except QueryBudgetExceeded:
-                return self._budget_exhausted(scenario, oracle)
-            return AttackReport(
-                attack=self.name,
-                scenario=scenario,
-                applicable=True,
-                success=outcome.success,
-                best_key=outcome.best_key.encode(),
-                best_metric_db=outcome.best_snr_db,
-                n_queries=oracle.n_queries,
-                lab_seconds=oracle.elapsed_seconds,
-                extras={
-                    "n_trials": outcome.n_trials,
-                    "extrapolated_years_full_space": (
-                        outcome.extrapolated_years_full_space
-                    ),
-                },
-            )
-        return self._scheme_search(scenario, rng)
+            return self._run_fabric(scenario, scenario.oracle())
+        return self._scheme_search(scenario, np.random.default_rng(scenario.seed))
+
+    def _run_fabric(self, scenario: ThreatScenario, oracle) -> AttackReport:
+        """The metered fabric search against ``oracle`` — a live
+        :class:`~repro.attacks.oracle.MeasurementOracle` or the
+        scripted replay wrapper; the search cannot tell them apart."""
+        rng = np.random.default_rng(scenario.seed)
+        attack = BruteForceAttack(oracle, rng=rng, batch_size=self.batch_size)
+        try:
+            outcome = attack.run(scenario.budget)
+        except QueryBudgetExceeded:
+            return self._budget_exhausted(scenario, oracle)
+        return AttackReport(
+            attack=self.name,
+            scenario=scenario,
+            applicable=True,
+            success=outcome.success,
+            best_key=outcome.best_key.encode(),
+            best_metric_db=outcome.best_snr_db,
+            n_queries=oracle.n_queries,
+            lab_seconds=oracle.elapsed_seconds,
+            extras={
+                "n_trials": outcome.n_trials,
+                "extrapolated_years_full_space": (
+                    outcome.extrapolated_years_full_space
+                ),
+            },
+        )
+
+    def partition(self, scenario: ThreatScenario):
+        if (
+            scenario.scheme != FABRIC
+            or self.subtask_keys <= 0
+            or scenario.budget <= self.subtask_keys
+        ):
+            return None
+        return BruteForcePartition(scenario, self.subtask_keys)
+
+    def execute_scripted(
+        self, scenario: ThreatScenario, script
+    ) -> AttackReport:
+        if scenario.scheme != FABRIC or not script:
+            return self.execute(scenario)
+        oracle = ScriptedOracle(scenario.oracle(), snrs=script.get("snrs", ()))
+        return self._run_fabric(scenario, oracle)
 
     def _scheme_search(
         self, scenario: ThreatScenario, rng: np.random.Generator
@@ -236,12 +296,12 @@ class Genetic(Attack):
     mutation_rate: float = 0.02
     elite: int = 2
     sfdr_weight: float = 0.0
+    #: Slices each generation's population scoring is split into for
+    #: speculative sub-tasks; 0 keeps the cell scalar.
+    subtask_slices: int = 0
 
-    def execute(self, scenario: ThreatScenario) -> AttackReport:
-        if scenario.scheme != FABRIC:
-            return self._not_applicable(scenario, _NEEDS_ORACLE)
-        oracle = scenario.oracle()
-        attack = GeneticAttack(
+    def _make_attack(self, oracle, scenario: ThreatScenario) -> GeneticAttack:
+        return GeneticAttack(
             oracle,
             rng=np.random.default_rng(scenario.seed),
             population_size=self.population_size,
@@ -249,6 +309,14 @@ class Genetic(Attack):
             elite=self.elite,
             sfdr_weight=self.sfdr_weight,
         )
+
+    def execute(self, scenario: ThreatScenario) -> AttackReport:
+        if scenario.scheme != FABRIC:
+            return self._not_applicable(scenario, _NEEDS_ORACLE)
+        return self._run_fabric(scenario, scenario.oracle())
+
+    def _run_fabric(self, scenario: ThreatScenario, oracle) -> AttackReport:
+        attack = self._make_attack(oracle, scenario)
         n_generations = max(scenario.budget // self.population_size - 1, 1)
         try:
             outcome = attack.run(n_generations)
@@ -268,6 +336,196 @@ class Genetic(Attack):
                 "population_size": self.population_size,
             },
         )
+
+    def partition(self, scenario: ThreatScenario):
+        if scenario.scheme != FABRIC or self.subtask_slices <= 0:
+            return None
+        return GeneticPartition(self, scenario)
+
+    def execute_scripted(
+        self, scenario: ThreatScenario, script
+    ) -> AttackReport:
+        if scenario.scheme != FABRIC or not script:
+            return self.execute(scenario)
+        oracle = ScriptedOracle(
+            scenario.oracle(),
+            snrs=script.get("snrs", ()),
+            sfdrs=script.get("sfdrs", ()),
+        )
+        return self._run_fabric(scenario, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Partition plans: speculative sub-tasks + sequential accept-order replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyRangeScore:
+    """Speculatively score one contiguous range of the brute-force key
+    stream (ships to workers inside a scheduler ``SubTask``)."""
+
+    start: int
+    count: int
+
+    def run(self, cell):
+        scenario = cell.scenario
+        return score_key_range(
+            scenario.oracle(), scenario.seed, self.start, self.count
+        )
+
+
+class BruteForcePartition:
+    """Key-space chunking for :class:`BruteForce` fabric cells.
+
+    The scalar search draws keys from one RNG stream seeded by the
+    scenario, independent of measurement chunking — so the plan's parts
+    score disjoint ranges of that stream (covering every key the search
+    could possibly charge: ``budget``, clamped to ``max_queries`` since
+    the oracle refuses anything past it), and the replay serves the
+    concatenated scores positionally.  Early success simply leaves the
+    scripted tail unread.
+    """
+
+    def __init__(self, scenario: ThreatScenario, chunk_keys: int):
+        n_keys = scenario.budget
+        if scenario.max_queries is not None:
+            n_keys = min(n_keys, scenario.max_queries)
+        self._ranges = []
+        start = 0
+        while start < n_keys:
+            count = min(chunk_keys, n_keys - start)
+            self._ranges.append((start, count))
+            start += count
+        self._snrs: list = [None] * len(self._ranges)
+
+    def initial_parts(self):
+        return [
+            (("keys", i), KeyRangeScore(start, count))
+            for i, (start, count) in enumerate(self._ranges)
+        ]
+
+    def absorb(self, part_id, payload):
+        _, i = part_id
+        self._snrs[i] = list(payload)
+        return []
+
+    def script(self) -> dict:
+        return {"snrs": [snr for chunk in self._snrs for snr in chunk]}
+
+
+@dataclass(frozen=True)
+class PopulationScore:
+    """Speculatively score one slice of a GA generation's population
+    (keys ship encoded so the part stays a plain picklable record)."""
+
+    keys: tuple
+    with_sfdr: bool
+
+    def run(self, cell):
+        oracle = cell.scenario.oracle()
+        keys = [ConfigWord.decode(key) for key in self.keys]
+        snrs = speculative_snr_batch(oracle, keys)
+        sfdrs = speculative_sfdr_batch(oracle, keys) if self.with_sfdr else None
+        return (snrs, sfdrs)
+
+
+class GeneticPartition:
+    """Per-generation population scoring for :class:`Genetic` cells.
+
+    Generations are sequentially dependent (breeding consumes the
+    ranking of the previous generation), so the plan fans out one
+    generation's slices at a time: absorbing the last slice of
+    generation ``g`` reproduces the scalar ranking (identical blend,
+    identical stable sort) and breeds generation ``g+1`` from a private
+    :class:`~repro.attacks.optimization.GeneticAttack` whose RNG has
+    consumed exactly the draws the replay's attack will re-consume.
+    Speculation stops where the scalar control flow becomes
+    oracle-adjudicated (a ranking crossing the SNR spec triggers a live
+    ``unlocks``) or where the query budget is provably spent; the
+    replay's live fallback covers anything past that horizon.
+    """
+
+    def __init__(self, adapter: "Genetic", scenario: ThreatScenario):
+        self._attack = adapter._make_attack(None, scenario)
+        spec = PerformanceSpec.for_standard(scenario.standard())
+        self._snr_min = spec.snr_min_db
+        self._sfdr_min = spec.sfdr_min_db
+        self._sfdr_weight = adapter.sfdr_weight
+        self._with_sfdr = adapter.sfdr_weight > 0.0
+        self._n_generations = max(
+            scenario.budget // adapter.population_size - 1, 1
+        )
+        self._max_queries = scenario.max_queries
+        self._n_slices = adapter.subtask_slices
+        self._generation = 0
+        self._population = self._attack.initial_population()
+        self._snrs: list[float] = []
+        self._sfdrs: list[float] = []
+        self._pending: dict[int, tuple] = {}
+        self._expect = 0
+
+    def _parts(self):
+        """Fan the current generation out as population slices."""
+        n = len(self._population)
+        size = -(-n // self._n_slices)  # ceil: last slice may run short
+        parts = []
+        for i in range(self._n_slices):
+            keys = self._population[i * size:(i + 1) * size]
+            if not keys:
+                break
+            parts.append((
+                ("gen", self._generation, i),
+                PopulationScore(
+                    tuple(key.encode() for key in keys), self._with_sfdr
+                ),
+            ))
+        self._pending = {}
+        self._expect = len(parts)
+        return parts
+
+    def initial_parts(self):
+        return self._parts()
+
+    def absorb(self, part_id, payload):
+        _, _, i = part_id
+        self._pending[i] = payload
+        if len(self._pending) < self._expect:
+            return []
+        snrs: list[float] = []
+        sfdrs: list[float] = []
+        for i in sorted(self._pending):
+            slice_snrs, slice_sfdrs = self._pending[i]
+            snrs.extend(slice_snrs)
+            if slice_sfdrs is not None:
+                sfdrs.extend(slice_sfdrs)
+        self._snrs.extend(snrs)
+        if self._with_sfdr:
+            self._sfdrs.extend(sfdrs)
+        if self._generation >= self._n_generations:
+            return []  # the scalar loop scores no generation past this
+        scores = blend_fitness(
+            snrs, sfdrs if self._with_sfdr else None,
+            self._sfdr_weight, self._sfdr_min,
+        )
+        ranked = sorted(zip(scores, self._population), key=lambda t: -t[0])
+        if ranked[0][0] >= self._snr_min:
+            # The scalar loop now calls oracle.unlocks — a live, charged
+            # adjudication the replay must perform itself.  Stop here;
+            # if the key is deceptive the replay continues on the
+            # scripted-oracle's live fallback, still bit-exact.
+            return []
+        if (
+            self._max_queries is not None
+            and len(self._snrs) + len(self._sfdrs) >= self._max_queries
+        ):
+            return []  # the replay's next charge provably raises
+        self._population = self._attack.breed(ranked)
+        self._generation += 1
+        return self._parts()
+
+    def script(self) -> dict:
+        return {"snrs": self._snrs, "sfdrs": self._sfdrs}
 
 
 @dataclass

@@ -73,6 +73,20 @@ class CampaignCell:
         attack = make_attack(self.attack, **dict(self.attack_params))
         return attack.execute(self.scenario)
 
+    def execute_scripted(self, script) -> AttackReport:
+        """Replay this cell against a partition plan's measurement
+        script (the scheduler's assembly step — see
+        :meth:`~repro.campaigns.attacks.Attack.execute_scripted`)."""
+        attack = make_attack(self.attack, **dict(self.attack_params))
+        return attack.execute_scripted(self.scenario, script)
+
+
+def cell_partition(cell: CampaignCell):
+    """The cell's partition plan, or None when it runs scalar (see
+    :meth:`~repro.campaigns.attacks.Attack.partition`)."""
+    attack = make_attack(cell.attack, **dict(cell.attack_params))
+    return attack.partition(cell.scenario)
+
 
 @dataclass
 class CampaignResult:

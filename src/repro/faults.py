@@ -21,6 +21,19 @@ injection point               fires inside
 ``task.hang``                 a worker, instead of running its task
                               (``SIGSTOP`` to itself: every thread freezes,
                               heartbeats stop, the watchdog must reclaim)
+``task.stall_heartbeat``      a worker, before running its task: the
+                              heartbeat thread stops beating and the task is
+                              delayed past the watchdog, but the worker stays
+                              alive and *reports late* — the adversarial
+                              schedule for the supervisor's kill-before-drain
+                              ordering (a stale-looking worker's late result
+                              must settle exactly once, never requeue)
+``worker.torn_conn``          a worker, after reporting a result: its end of
+                              the duplex pipe closes while the process stays
+                              alive with a beating heartbeat — the parent's
+                              next dispatch to it fails, and the slot must be
+                              marked broken or the sweep never reaps it
+                              (the ``n_workers=1`` livelock)
 ``store.torn_entry``          :meth:`~repro.engine.store.CalibrationStore.
                               put` — the entry lands truncated, as if the
                               writer died mid-write before the rename
@@ -76,6 +89,8 @@ INJECTION_POINTS = (
     "task.crash_before_report",
     "task.crash_after_charge",
     "task.hang",
+    "task.stall_heartbeat",
+    "worker.torn_conn",
     "store.torn_entry",
     "store.torn_audit",
     "journal.torn_append",
@@ -273,6 +288,20 @@ def hang() -> None:
     # a resumed "hung" worker must not surprise the scheduler with a
     # result it already retried elsewhere.
     while True:  # pragma: no cover - only reached under SIGCONT
+        time.sleep(3600)
+
+
+def tear_connection(conn) -> None:
+    """Close the worker's end of its duplex pipe but keep the process
+    alive — heartbeat still beating, no exit code.  From the parent's
+    side the worker looks healthy until the next dispatch to it fails,
+    which is exactly the shape of the broken-pipe livelock the
+    supervision sweep must break by marking the slot broken."""
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - close cannot plausibly fail
+        pass
+    while True:
         time.sleep(3600)
 
 

@@ -82,6 +82,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro import faults
 from repro.engine import CalibrationStore
 from repro.service.jobs import (
     CampaignJob,
@@ -108,18 +109,20 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import (
     POLL_SECONDS,
+    AssembleTask,
     ProvisionTask,
+    SubTask,
     _context,
-    reap_slot,
+    kill_slot,
     run_task,
     spawn_worker,
     start_heartbeat,
-    wait_readable,
 )
 from repro.service.service import (
     FoundryService,
     journal_task_events,
     plan_campaign_tasks,
+    plan_cell_partitions,
 )
 from repro.service.tenants import TenantConfig, TenantMeter
 
@@ -232,6 +235,8 @@ def _fleet_worker_main(conn, heartbeat) -> None:
             meter.begin_task(task_id)
         kind, task, payload, seconds, error = run_task(task)
         conn.send((ticket, kind, task, payload, seconds, error))
+        if faults.ENABLED and faults.fire("worker.torn_conn"):
+            faults.tear_connection(conn)
 
 
 class _FleetItem:
@@ -420,17 +425,23 @@ class WorkerFleet:
         while not self._stop_event.is_set():
             with self._lock:
                 for slot in self.slots:
-                    if slot.item is None and self._ready:
-                        item = self._ready.popleft()
-                        try:
-                            slot.conn.send(
-                                (item.ticket, item.context, item.task,
-                                 item.task_id)
-                            )
-                        except (OSError, ValueError):
-                            self._ready.appendleft(item)
-                            continue  # the sweep below reclaims the slot
-                        slot.item = item
+                    if slot.broken or slot.item is not None \
+                            or not self._ready:
+                        continue
+                    item = self._ready.popleft()
+                    try:
+                        slot.conn.send(
+                            (item.ticket, item.context, item.task,
+                             item.task_id)
+                        )
+                    except (OSError, ValueError):
+                        self._ready.appendleft(item)
+                        # Flag the torn pipe: the process may be alive
+                        # with a beating heartbeat, and an unflagged
+                        # slot would look idle forever (livelock).
+                        slot.broken = True
+                        continue
+                    slot.item = item
             waitable = [slot.conn for slot in self.slots] + [self._wake_r]
             try:
                 readable = connection.wait(waitable, timeout=POLL_SECONDS)
@@ -447,26 +458,37 @@ class WorkerFleet:
                 try:
                     message = slot.conn.recv()
                 except (EOFError, OSError):
-                    continue  # a death: the sweep below reclaims it
+                    slot.broken = True  # the sweep below reclaims it
+                    continue
                 self._settle(slot, message)
             for i, slot in enumerate(self.slots):  # supervision sweep
                 hung = slot.stale(self._watchdog)
-                if slot.proc.is_alive() and not hung:
+                if slot.proc.is_alive() and not hung and not slot.broken:
                     continue
                 if self._stop_event.is_set():
                     return
-                # Drain first: a result sent just before dying settles
-                # normally — reclaiming it too would run it twice.
+                if hung:
+                    kill_note = (
+                        f"fleet worker hung (heartbeat silent > "
+                        f"{self._watchdog:g}s); killed"
+                    )
+                elif slot.broken and slot.proc.is_alive():
+                    kill_note = "fleet worker pipe broke; killed"
+                else:
+                    kill_note = None
+                # Kill hung/broken-but-alive workers BEFORE draining: a
+                # drain-first order races a late result into the pipe
+                # between drain and kill — the task would settle AND be
+                # reclaimed (double execution, double tenant charge).
+                # Dead workers cannot send, so the post-kill drain still
+                # collects everything they reported before dying.
+                note = kill_slot(slot, kill_note)
                 try:
                     while slot.conn.poll():
                         self._settle(slot, slot.conn.recv())
                 except (EOFError, OSError):
                     pass
-                note = reap_slot(
-                    slot,
-                    f"fleet worker hung (heartbeat silent > "
-                    f"{self._watchdog:g}s); killed" if hung else None,
-                )
+                slot.close()
                 self._barren_respawns += 1
                 if self._barren_respawns > 3 * len(self.slots) + \
                         self._retry_budget:
@@ -508,19 +530,29 @@ class WorkerFleet:
 
 
 def run_on_fleet(fleet: WorkerFleet, context: TaskContext, cell_tasks,
-                 provision_tasks, cell_triples, max_inflight: int):
+                 provision_tasks, cell_triples, max_inflight: int,
+                 partitions=None):
     """Drive one job's tasks through the shared fleet: yields
-    ``(task, payload, seconds)`` per completed task, completion order.
+    ``(task, payload, seconds)`` per completed provision or cell task,
+    completion order.
 
     The fleet analogue of :func:`~repro.service.scheduler.run_stealing`
     — identical gating (a cell enqueues the moment its last missing
-    triple lands) with two differences: tasks go to the *shared*
-    persistent fleet instead of a private team, and ``max_inflight``
-    bounds this job's concurrently-dispatched tasks (the job's
-    ``n_workers``), which both shares the fleet fairly between
-    concurrent jobs and makes a 1-worker job's cells execute strictly
-    sequentially — the property per-tenant quota determinism rides on.
+    triple lands) and identical sub-task handling (``partitions`` maps
+    cell index -> partition plan; sub-task completions are internal,
+    the cell completes via its replaying
+    :class:`~repro.service.scheduler.AssembleTask`) — with two
+    differences: tasks go to the *shared* persistent fleet instead of a
+    private team, and ``max_inflight`` bounds this job's
+    concurrently-dispatched tasks (the job's ``n_workers``), which both
+    shares the fleet fairly between concurrent jobs and makes a
+    1-worker job's cells execute strictly sequentially — the property
+    per-tenant quota determinism rides on.  Sub-tasks are unmetered by
+    construction, so their reservation/rollback traffic is zero-charge
+    and the AssembleTask's charges commit under the same ``("cell",
+    index)`` reservation id a scalar cell's would.
     """
+    partitions = dict(partitions or {})
     blocked = {
         task: set(cell_triples.get(getattr(task, "index", None), ()))
         for task in cell_tasks
@@ -529,8 +561,22 @@ def run_on_fleet(fleet: WorkerFleet, context: TaskContext, cell_tasks,
     for task in cell_tasks:
         for triple in blocked[task]:
             waiters.setdefault(triple, []).append(task)
+    outstanding: dict[int, int] = {}  # cell index -> unabsorbed sub-tasks
     ready = deque(provision_tasks)  # provisioning first: it unblocks cells
-    ready.extend(task for task in cell_tasks if not blocked[task])
+
+    def release(task):
+        plan = partitions.get(getattr(task, "index", None))
+        if plan is None:
+            ready.append(task)
+            return
+        parts = plan.initial_parts()
+        outstanding[task.index] = len(parts)
+        for part_id, part in parts:
+            ready.append(SubTask(task.index, part_id, task.cell, part))
+
+    for task in cell_tasks:
+        if not blocked[task]:
+            release(task)
     total = len(cell_tasks) + len(provision_tasks)
     ticket, mailbox = fleet.open_ticket()
     inflight = 0
@@ -555,13 +601,26 @@ def run_on_fleet(fleet: WorkerFleet, context: TaskContext, cell_tasks,
                 raise TaskRetriesExhausted(task.label(), error)
             if kind == "error":
                 raise JobFailed(f"task {task.label()!r} failed:\n{error}")
+            if isinstance(task, SubTask):
+                plan = partitions[task.index]
+                new_parts = plan.absorb(task.part_id, payload)
+                outstanding[task.index] += len(new_parts) - 1
+                for part_id, part in new_parts:
+                    ready.append(
+                        SubTask(task.index, part_id, task.cell, part)
+                    )
+                if outstanding[task.index] == 0:
+                    ready.append(
+                        AssembleTask(task.index, task.cell, plan.script())
+                    )
+                continue
             done += 1
             if isinstance(task, ProvisionTask):
                 for waiter in waiters.pop(task.triple, ()):
                     pending = blocked[waiter]
                     pending.discard(task.triple)
                     if not pending:
-                        ready.append(waiter)
+                        release(waiter)
             yield task, payload, seconds
     finally:
         fleet.close_ticket(ticket)
@@ -615,6 +674,7 @@ class _FleetService(FoundryService):
             provision_tasks,
             cell_triples,
             max_inflight=n_workers,
+            partitions=plan_cell_partitions(todo),
         )
         yield from journal_task_events(events, journal)
 

@@ -10,6 +10,14 @@ one :class:`TaskEvent` per completed task and moving the handle
 through the :class:`JobStatus` lifecycle
 (``PENDING -> RUNNING -> COMPLETED`` / ``FAILED`` / ``CANCELLED``).
 
+Cells whose attack adapter declares a partition plan
+(:meth:`~repro.campaigns.attacks.Attack.partition`) are shattered into
+scheduler-internal sub-tasks; those never surface here.  A partitioned
+cell still emits exactly one ``"cell"`` :class:`TaskEvent` — fired when
+the parent's sequential-replay assembly completes — with a payload
+bit-identical to the unpartitioned cell's, so streaming consumers and
+journals cannot tell the difference.
+
 Worker counts everywhere in the service follow one convention,
 mirrored on ``REPRO_ENGINE_THREADS``: a count must be a positive
 integer (``1`` runs in-process), rejected up front with the valid

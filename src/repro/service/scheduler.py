@@ -36,6 +36,24 @@ dispatch order *or the crash schedule*: a retried task re-executes
 identically (held differentially in ``tests/test_service.py`` and
 ``tests/test_faults.py``).
 
+Sub-tasks (partitioned cells): a cell whose attack adapter declares a
+partition plan (:meth:`~repro.campaigns.attacks.Attack.partition`) is
+never dispatched as one :class:`CellTask`.  Instead its plan emits
+:class:`SubTask` records — speculative, *unmetered* measurement slices
+(brute-force key-range scores, GA population-slice scores) that are
+pure functions of the cell, so a retried sub-task is trivially safe —
+and the parent absorbs each result back into the plan, which may emit
+further sub-tasks (the GA breeds generation ``g+1`` only after
+absorbing generation ``g``).  When the plan drains, one
+:class:`AssembleTask` replays the *scalar* attack against the plan's
+measurement script (sequential accept-order replay: identical draws,
+best-so-far updates, early exits and ``unlocks`` adjudications, with
+every oracle/tenant charge committed in replay order), so the report,
+``n_queries`` and the ``QueryBudgetExceeded`` refusal point are
+bit-identical to the unpartitioned cell across partition sizes, worker
+counts and backends.  Sub-task completions are internal — only
+provision and cell (assembly) results are yielded.
+
 The ``static`` mode pre-assigns contiguous cell shards per worker
 (what naive sharding would do) and exists as the baseline the
 imbalanced-fleet benchmark in ``benchmarks/test_bench_campaign.py``
@@ -48,6 +66,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import threading
 import time
 import traceback
 from collections import deque
@@ -115,6 +134,52 @@ class CellTask:
         return self.cell.execute()
 
 
+@dataclass(frozen=True)
+class SubTask:
+    """One speculative slice of a partitioned cell's measurement work.
+
+    The part computes raw measurement values (SNR/SFDR scores) directly
+    — *never* through the metering oracle, so neither the oracle budget
+    nor an installed tenant meter moves: all charges commit later, in
+    replay order, inside the cell's :class:`AssembleTask`.  Sub-tasks
+    are pure functions of ``(cell, part)`` with no side effects, which
+    makes their retries trivially safe under supervision.
+    """
+
+    index: int
+    part_id: tuple
+    cell: object
+    part: object
+
+    def label(self) -> str:
+        return f"{self.cell.label()} [{'/'.join(map(str, self.part_id))}]"
+
+    def key(self) -> tuple:
+        """Stable identity for retry accounting and charge reservations."""
+        return ("subtask", self.index, self.part_id)
+
+    def run(self):
+        return self.part.run(self.cell)
+
+
+@dataclass(frozen=True)
+class AssembleTask(CellTask):
+    """Sequential accept-order replay of a partitioned cell: re-runs
+    the scalar attack with measurements served from the sub-tasks'
+    script (live fallback when the script runs dry — e.g. a deceptive
+    key pushing the search past where speculation stopped).  All
+    oracle/tenant charges happen here, in replay order, under the same
+    ``("cell", index)`` identity a scalar cell task would use — so the
+    retry budget and the daemon's charge-reservation path treat it
+    exactly like the cell it assembles, and it journals as a plain cell
+    result (it *is* a :class:`CellTask`)."""
+
+    script: object = None
+
+    def run(self):
+        return self.cell.execute_scripted(self.script)
+
+
 def _worker_loop(tasks, task_queue, result_queue, backend, store_path) -> None:
     """One worker process: pull tasks until the sentinel (stealing mode,
     ``task_queue``) or the pre-assigned shard runs dry (static mode,
@@ -172,15 +237,23 @@ def start_heartbeat(heartbeat) -> None:
     The shared value is lock-free (a raw aligned double; torn
     reads/writes don't occur on the platforms the fork context runs
     on): a lock would hand a killed worker a way to wedge the parent.
+
+    The ``task.stall_heartbeat`` fault point stops the beat (the thread
+    exits) while the worker keeps computing — a starved heartbeat
+    thread under a long GIL-holding call looks exactly like this.
     """
-    import threading
 
     def beat():
-        while True:
+        while not _HEARTBEAT_STALLED.is_set():
             heartbeat.value = time.monotonic()
             time.sleep(HEARTBEAT_SECONDS)
 
     threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+
+
+#: Worker-process flag the ``task.stall_heartbeat`` fault point sets to
+#: silence the heartbeat thread without touching the worker itself.
+_HEARTBEAT_STALLED = threading.Event()
 
 
 def run_task(task):
@@ -189,10 +262,16 @@ def run_task(task):
     process instead of running (nothing mutated — the watchdog must
     reclaim), ``task.crash_before_report`` kills the process after the
     task ran but before its result message exists (the supervisor must
-    requeue).  Returns a ``(kind, task, payload, seconds, error)``
-    result tuple."""
+    requeue), ``task.stall_heartbeat`` silences the heartbeat and delays
+    the task past the watchdog while staying alive (the *late result*
+    schedule the supervisor's kill-before-drain ordering exists for).
+    Returns a ``(kind, task, payload, seconds, error)`` result tuple."""
     if faults.ENABLED and faults.fire("task.hang"):
         faults.hang()
+    if faults.ENABLED and faults.fire("task.stall_heartbeat"):
+        _HEARTBEAT_STALLED.set()
+        timeout = task_timeout_seconds()
+        time.sleep((timeout or 0.0) + 3 * POLL_SECONDS)
     start = time.perf_counter()
     try:
         payload = task.run()
@@ -222,6 +301,8 @@ def _supervised_worker_main(conn, heartbeat, backend, store_path) -> None:
         if task is None:
             return
         conn.send(run_task(task))
+        if faults.ENABLED and faults.fire("worker.torn_conn"):
+            faults.tear_connection(conn)
 
 
 class WorkerSlot:
@@ -234,6 +315,11 @@ class WorkerSlot:
         self.conn = conn
         self.heartbeat = heartbeat
         self.item = None  # the dispatched work, parent-defined shape
+        # Set when a send to this worker failed: the process may still
+        # be alive with a beating heartbeat, but its pipe is torn, so
+        # the supervision sweep must reap it — an idle-looking slot that
+        # can never be dispatched to would otherwise livelock the round.
+        self.broken = False
 
     def stale(self, timeout: float | None) -> bool:
         """Has the heartbeat been silent past the watchdog threshold
@@ -264,21 +350,37 @@ def spawn_worker(ctx, target, args) -> WorkerSlot:
     return WorkerSlot(proc, parent_conn, heartbeat)
 
 
-def reap_slot(slot: WorkerSlot, note_hung: str | None) -> str:
-    """Put a dead or hung worker fully out of its misery and describe
-    what happened (the per-attempt note).  ``note_hung`` is the
-    watchdog's description when the worker is being reclaimed for
-    heartbeat silence rather than death."""
-    if note_hung is not None and slot.proc.is_alive():
+def kill_slot(slot: WorkerSlot, note_kill: str | None) -> str:
+    """Kill (when ``note_kill`` names a reason and the process is still
+    alive) and join one worker, WITHOUT closing the parent's end of its
+    pipe: the supervisor drains any result the worker managed to send
+    *after* this, then closes.  Draining before the kill is the race —
+    a hung-but-alive worker can emit its result between the drain and
+    the kill, and the drained-empty supervisor would requeue and run the
+    task twice.  Killing first makes the post-kill drain complete: a
+    dead process cannot send.  Returns the per-attempt note: the kill
+    reason when this call did the killing, but the worker's own exit
+    code when the join reveals it died by itself first (``is_alive`` can
+    lag a crashing worker's pipe EOF, so a kill request may race a
+    natural death — the factual exit code outranks the stale reason)."""
+    if note_kill is not None and slot.proc.is_alive():
         slot.proc.kill()  # SIGKILL: works on a SIGSTOPped process too
     slot.proc.join(timeout=5.0)
     if slot.proc.is_alive():  # pragma: no cover - kill cannot be refused
         slot.proc.terminate()
         slot.proc.join(timeout=5.0)
+    exitcode = slot.proc.exitcode
+    if note_kill is not None and (exitcode is None or exitcode < 0):
+        return note_kill
+    return f"worker died with exit code {exitcode}"
+
+
+def reap_slot(slot: WorkerSlot, note_hung: str | None) -> str:
+    """:func:`kill_slot` plus closing the parent's pipe end — for
+    callers with nothing left to drain."""
+    note = kill_slot(slot, note_hung)
     slot.close()
-    if note_hung is not None:
-        return note_hung
-    return f"worker died with exit code {slot.proc.exitcode}"
+    return note
 
 
 def wait_readable(slots, timeout: float):
@@ -328,14 +430,23 @@ def _shutdown(workers, graceful: bool) -> None:
 
 
 def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
-                 backend, store_path):
+                 backend, store_path, partitions=None):
     """Drive a supervised work-stealing round: yields one ``(task,
-    payload, seconds)`` per completed task, in completion order.
+    payload, seconds)`` per completed provision or cell task, in
+    completion order.
 
     ``cell_triples`` maps cell index -> set of provisioning triples the
     cell is gated on; gated cells release the moment their last triple
     completes, so early-calibrated dies unblock their attack cells
     while stragglers are still calibrating.
+
+    ``partitions`` maps cell index -> partition plan (see the module
+    docstring): a partitioned cell releases as its plan's initial
+    :class:`SubTask` fan-out instead of one :class:`CellTask`, absorbed
+    results may fan out further (GA generations), and the cell
+    completes via the :class:`AssembleTask` replay once its plan has no
+    sub-task outstanding.  Sub-task completions are internal — they are
+    never yielded.
 
     A worker that dies or hangs mid-task is reaped, respawned, and its
     task requeued at the *front* of the ready pool (retries first:
@@ -346,6 +457,7 @@ def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
     functions of their pickled selves, so a Python exception would
     simply raise again on retry.
     """
+    partitions = dict(partitions or {})
     blocked = {
         task.index: set(cell_triples.get(task.index, ()))
         for task in cell_tasks
@@ -354,11 +466,27 @@ def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
     for task in cell_tasks:
         for triple in blocked[task.index]:
             waiters.setdefault(triple, []).append(task)
-    n_tasks = len(cell_tasks) + len(provision_tasks)
+    n_results = len(cell_tasks) + len(provision_tasks)
     retry_budget = task_retry_budget()
     watchdog = task_timeout_seconds()
+    outstanding: dict[int, int] = {}  # cell index -> unabsorbed sub-tasks
     ready = deque(provision_tasks)  # provisioning first: it unblocks cells
-    ready.extend(task for task in cell_tasks if not blocked[task.index])
+
+    def release(task):
+        """An unblocked cell enters the pool — as itself, or, when a
+        partition plan covers it, as the plan's initial sub-tasks."""
+        plan = partitions.get(task.index)
+        if plan is None:
+            ready.append(task)
+            return
+        parts = plan.initial_parts()
+        outstanding[task.index] = len(parts)
+        for part_id, part in parts:
+            ready.append(SubTask(task.index, part_id, task.cell, part))
+
+    for task in cell_tasks:
+        if not blocked[task.index]:
+            release(task)
     ctx = _context()
 
     def spawn():
@@ -366,7 +494,10 @@ def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
             ctx, _supervised_worker_main, (backend, store_path)
         )
 
-    slots = [spawn() for _ in range(max(1, min(n_workers, n_tasks)))]
+    # Partitioned rounds hold more units than results, so size the team
+    # by the requested width rather than the (smaller) result count.
+    n_units = n_results if not partitions else max(n_results, n_workers)
+    slots = [spawn() for _ in range(max(1, min(n_workers, n_units)))]
     attempts: dict[tuple, list] = {}
     done = 0
     graceful = False
@@ -377,55 +508,89 @@ def run_stealing(cell_tasks, provision_tasks, cell_triples, n_workers,
     max_barren_respawns = 3 * len(slots) + retry_budget
 
     def settle(slot, message):
-        """One result message: free the slot, unblock gated cells."""
+        """One result message: free the slot, unblock gated cells.
+        Returns the event to yield, or None for an internal (sub-task)
+        completion."""
         nonlocal done, respawns_without_progress
         respawns_without_progress = 0
         kind, task, payload, seconds, error = message
         slot.item = None
         if kind == "error":
             raise JobFailed(f"task {task.label()!r} failed:\n{error}")
+        if isinstance(task, SubTask):
+            plan = partitions[task.index]
+            new_parts = plan.absorb(task.part_id, payload)
+            outstanding[task.index] += len(new_parts) - 1
+            for part_id, part in new_parts:
+                ready.append(SubTask(task.index, part_id, task.cell, part))
+            if outstanding[task.index] == 0:
+                ready.append(
+                    AssembleTask(task.index, task.cell, plan.script())
+                )
+            return None
         done += 1
         if isinstance(task, ProvisionTask):
             for waiter in waiters.pop(task.triple, ()):
                 pending = blocked[waiter.index]
                 pending.discard(task.triple)
                 if not pending:
-                    ready.append(waiter)
+                    release(waiter)
         return task, payload, seconds
 
     try:
-        while done < n_tasks:
+        while done < n_results:
             for slot in slots:  # dispatch to every idle worker
-                if slot.item is None and ready:
-                    task = ready.popleft()
-                    try:
-                        slot.conn.send(task)
-                    except (OSError, ValueError):
-                        ready.appendleft(task)  # sweep reclaims the slot
-                        continue
-                    slot.item = task
+                if slot.broken or slot.item is not None or not ready:
+                    continue
+                task = ready.popleft()
+                try:
+                    slot.conn.send(task)
+                except (OSError, ValueError):
+                    ready.appendleft(task)
+                    # The pipe is torn even if the process looks healthy:
+                    # flag it so the sweep reaps it, or an alive worker
+                    # with a beating heartbeat would sit here looking
+                    # idle forever (the single-worker livelock).
+                    slot.broken = True
+                    continue
+                slot.item = task
             for slot in wait_readable(slots, timeout=POLL_SECONDS):
                 try:
                     message = slot.conn.recv()
                 except (EOFError, OSError):
-                    continue  # a death: the sweep below reclaims it
-                yield settle(slot, message)
+                    slot.broken = True  # the sweep below reclaims it
+                    continue
+                event = settle(slot, message)
+                if event is not None:
+                    yield event
             for i, slot in enumerate(slots):  # supervision sweep
                 hung = slot.stale(watchdog)
-                if slot.proc.is_alive() and not hung:
+                if slot.proc.is_alive() and not hung and not slot.broken:
                     continue
-                # Drain first: a result sent just before dying settles
-                # normally — reclaiming it too would run it twice.
+                if hung:
+                    kill_note = (
+                        f"worker hung (heartbeat silent > {watchdog:g}s); "
+                        f"killed"
+                    )
+                elif slot.broken and slot.proc.is_alive():
+                    kill_note = "worker pipe broke; killed"
+                else:
+                    kill_note = None
+                # Kill hung/broken-but-alive workers BEFORE draining:
+                # draining first races a late result into the pipe
+                # between drain and kill, and the task would settle AND
+                # requeue (double execution, double tenant charge).
+                # Dead workers keep the documented drain-before-reclaim
+                # order trivially — they cannot send anything new.
+                note = kill_slot(slot, kill_note)
                 try:
                     while slot.conn.poll():
-                        yield settle(slot, slot.conn.recv())
+                        event = settle(slot, slot.conn.recv())
+                        if event is not None:
+                            yield event
                 except (EOFError, OSError):
                     pass
-                note = reap_slot(
-                    slot,
-                    f"worker hung (heartbeat silent > {watchdog:g}s); "
-                    f"killed" if hung else None,
-                )
+                slot.close()
                 task, slot.item = slot.item, None
                 respawns_without_progress += 1
                 if respawns_without_progress > max_barren_respawns:

@@ -87,6 +87,21 @@ def plan_campaign_tasks(todo, store, clear_locks: bool):
     return cell_tasks, [ProvisionTask(t) for t in missing], cell_triples
 
 
+def plan_cell_partitions(todo):
+    """Partition plans for the ``(index, cell)`` pairs whose attack
+    adapter declares one (``{cell index: plan}``; empty when every cell
+    runs scalar).  Built fresh per scheduling round — plans are
+    stateful, parent-side objects the scheduler drives."""
+    from repro.campaigns.campaign import cell_partition
+
+    partitions = {}
+    for index, cell in todo:
+        plan = cell_partition(cell)
+        if plan is not None:
+            partitions[index] = plan
+    return partitions
+
+
 def journal_task_events(events, journal):
     """Map raw scheduler results to :class:`TaskEvent` records,
     journaling each finished cell the moment its result arrives —
@@ -363,7 +378,12 @@ class FoundryService:
         sequence shape, which is why reports are bit-identical across
         execution modes.
         """
-        if n_workers == 1 or len(todo) <= 1:
+        if n_workers == 1:
+            return self._campaign_inline(job, todo, journal), 1
+        if len(todo) <= 1 and not plan_cell_partitions(todo):
+            # A single scalar cell gains nothing from workers — but a
+            # single *partitioned* cell is exactly the dominant-cell
+            # case sub-task scheduling exists for, so it still shards.
             return self._campaign_inline(job, todo, journal), 1
         return (
             self._campaign_sharded(job, todo, n_workers, scheduler, journal),
@@ -438,6 +458,7 @@ class FoundryService:
                     n_workers,
                     job.backend,
                     store_path,
+                    partitions=plan_cell_partitions(todo),
                 )
             yield from journal_task_events(events, journal)
         finally:

@@ -678,7 +678,16 @@ class TestDrainRestart:
     ):
         """The acceptance property: SIGTERM a daemon mid-campaign, then
         a daemon restarted on the same root finishes the job from its
-        journal, bit-identical to an uninterrupted run."""
+        journal, bit-identical to an uninterrupted run.
+
+        The first life runs under a ``task.hang`` fault plan so the
+        campaign deterministically cannot finish before the SIGTERM
+        lands: some fleet worker's 3rd task freezes (6 tasks over 2
+        workers — one of them always reaches a 3rd), pinning the job
+        mid-flight until the watchdog reclaims it.  Without the pin the
+        test raced daemon-side completion against client-side event
+        delivery, and a warm-kernel run could finish all six cells
+        before the signal was sent."""
         cells = oracle_cells(6, budget=24)
         uninterrupted = FoundryService().submit(
             CampaignJob(cells=cells, n_workers=1)
@@ -691,7 +700,10 @@ class TestDrainRestart:
         job = CampaignJob(cells=cells, n_workers=1)
         client = DaemonClient(socket=socket_path)
 
-        proc = self._serve(root, socket_path, env)
+        first_env = dict(env)
+        first_env["REPRO_FAULTS"] = "task.hang:at=3"
+        first_env["REPRO_TASK_TIMEOUT"] = "8"
+        proc = self._serve(root, socket_path, first_env)
         try:
             self._wait_listening(client, proc)
             handle = client.submit(job)

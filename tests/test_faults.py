@@ -353,6 +353,217 @@ class TestCrashTransparency:
 
 
 # ---------------------------------------------------------------------------
+# Supervision races (regression guards for the sweep's kill/drain order
+# and the broken-pipe slot flag)
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisionRaces:
+    def test_late_result_from_hung_worker_settles_once(self, monkeypatch):
+        """The kill-then-drain regression guard: a worker flagged hung
+        (stalled heartbeat) that delivers its result inside the kill
+        window must have that result *drained and settled*, not lost.
+        The old drain-before-kill order drained an empty pipe, requeued
+        the task, and ran it twice; with ``REPRO_TASK_RETRIES=1`` that
+        lost-result requeue is a :class:`TaskRetriesExhausted` — so the
+        run completing bit-identically IS the regression assertion."""
+        import repro.service.scheduler as scheduler_module
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "1")
+        monkeypatch.setenv(TASK_RETRIES_ENV, "1")
+        real_kill = scheduler_module.kill_slot
+
+        def slow_kill(slot, note_kill):
+            # Widen the window between "flagged hung" and "actually
+            # killed" so the stalled worker (which wakes, computes and
+            # sends ~1.6s in) reliably lands its result inside it even
+            # on a loaded host.
+            time.sleep(4.0)
+            return real_kill(slot, note_kill)
+
+        monkeypatch.setattr(scheduler_module, "kill_slot", slow_kill)
+        cells = oracle_cells(2)
+        reference = run_campaign(cells, n_workers=1)
+        faults.install(faults.parse_spec("task.stall_heartbeat:at=1"))
+        result = run_campaign(cells, n_workers=2)
+        faults.install(None)
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+
+    def test_torn_pipe_worker_is_reaped_not_livelocked(self):
+        """A worker whose pipe tears while the process stays alive with
+        a beating heartbeat: the dispatch failure must flag the slot so
+        the sweep reaps and respawns it.  An unflagged slot looks idle
+        forever — the single-worker round then never dispatches again
+        (livelock), which is why the campaign is driven from a thread
+        with a deadline."""
+        cells = oracle_cells(2)
+        reference = run_campaign(cells, n_workers=1)
+        outcome = {}
+
+        def drive():
+            outcome["result"] = run_campaign(cells, n_workers=2)
+
+        faults.install(faults.parse_spec("worker.torn_conn:at=1"))
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        thread.join(timeout=120)
+        faults.install(None)
+        assert not thread.is_alive(), "torn-pipe slot livelocked the round"
+        assert report_bytes(outcome["result"].reports) == report_bytes(
+            reference.reports
+        )
+
+    def test_fleet_late_result_settles_once(self, daemon_factory, monkeypatch):
+        """The same kill/drain race guard on the daemon fleet's router
+        sweep, with the same retries=1 sharpening."""
+        import repro.service.daemon as daemon_module
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "1")
+        monkeypatch.setenv(TASK_RETRIES_ENV, "1")
+        real_kill = daemon_module.kill_slot
+
+        def slow_kill(slot, note_kill):
+            time.sleep(4.0)
+            return real_kill(slot, note_kill)
+
+        monkeypatch.setattr(daemon_module, "kill_slot", slow_kill)
+        cells = oracle_cells(2)
+        reference = FoundryService().submit(
+            CampaignJob(cells=cells, n_workers=1)
+        ).result()
+        # Armed before the daemon forks its fleet: workers inherit it.
+        faults.install(faults.parse_spec("task.stall_heartbeat:at=1"))
+        daemon = daemon_factory("race", n_workers=2)
+        client = DaemonClient(socket=daemon.address)
+        result = client.submit(
+            CampaignJob(cells=cells, n_workers=2)
+        ).result(timeout=600)
+        faults.install(None)
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+
+    def test_fleet_torn_pipe_is_reaped_not_livelocked(self, daemon_factory):
+        """Torn-pipe reaping on the fleet: a one-worker fleet whose
+        worker tears its pipe after each result must still finish a
+        two-cell job (reap, respawn, redispatch) instead of idling."""
+        cells = oracle_cells(2)
+        reference = FoundryService().submit(
+            CampaignJob(cells=cells, n_workers=1)
+        ).result()
+        faults.install(faults.parse_spec("worker.torn_conn:at=1"))
+        daemon = daemon_factory("torn", n_workers=1)
+        client = DaemonClient(socket=daemon.address)
+        result = client.submit(
+            CampaignJob(cells=cells, n_workers=1)
+        ).result(timeout=120)
+        faults.install(None)
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+
+
+# ---------------------------------------------------------------------------
+# Faults on sub-task boundaries (partitioned cells)
+# ---------------------------------------------------------------------------
+
+
+def partitioned_cells() -> tuple:
+    """A dominant brute-force cell and a genetic cell, both declaring
+    partition plans (key-range chunks / per-generation slices)."""
+    bf = ThreatScenario(budget=24, n_fft=1024, seed=5)
+    ga = ThreatScenario(budget=32, n_fft=1024, seed=7)
+    return (
+        CampaignCell("brute-force", bf,
+                     attack_params=(("subtask_keys", 6),)),
+        CampaignCell("genetic", ga,
+                     attack_params=(("population_size", 8),
+                                    ("subtask_slices", 2))),
+    )
+
+
+def scalar_equivalents() -> tuple:
+    """The same cells without partition knobs — the byte-for-byte
+    reference the partitioned runs must reproduce."""
+    return tuple(
+        CampaignCell(
+            cell.attack,
+            cell.scenario,
+            attack_params=tuple(
+                (k, v) for k, v in cell.attack_params
+                if k not in ("subtask_keys", "subtask_slices")
+            ),
+        )
+        for cell in partitioned_cells()
+    )
+
+
+class TestSubTaskFaults:
+    def test_crash_on_subtask_boundaries_bitidentical(self):
+        """Workers crashing on sub-task boundaries (speculative chunk
+        scores lost and retried) leave the assembled reports
+        byte-identical to a fault-free scalar run."""
+        reference = run_campaign(scalar_equivalents(), n_workers=1)
+        expected = report_bytes(reference.reports)
+        for n_workers in (2, 4):
+            faults.install(
+                faults.parse_spec("task.crash_before_report:at=2")
+            )
+            result = run_campaign(partitioned_cells(), n_workers=n_workers)
+            faults.install(None)
+            assert report_bytes(result.reports) == expected
+
+    def test_hang_on_subtask_boundaries_bitidentical(self, monkeypatch):
+        """A worker hanging mid-sub-task is reclaimed by the watchdog;
+        the retried chunk reproduces the same speculative scores, so
+        assembly stays byte-identical."""
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "2")
+        reference = run_campaign(scalar_equivalents(), n_workers=1)
+        faults.install(faults.parse_spec("task.hang:at=2"))
+        result = run_campaign(partitioned_cells(), n_workers=2)
+        faults.install(None)
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+
+    def test_subtask_crash_after_charge_meters_exactly(self, daemon_factory):
+        """Tenant metering through partitioned cells: sub-tasks measure
+        unmetered (speculation), every charge lands in the assembly
+        replay — so a worker crashing after a replay charge rolls back
+        cleanly and the final meter total equals the fault-free scalar
+        count exactly."""
+        base = ThreatScenario(budget=12, n_fft=1024, seed=5)
+        cells = tuple(
+            CampaignCell("brute-force", base.with_(seed=s),
+                         attack_params=(("subtask_keys", 4),))
+            for s in range(4)
+        )
+        scalar = tuple(
+            CampaignCell("brute-force", base.with_(seed=s)) for s in range(4)
+        )
+        reference = FoundryService().submit(
+            CampaignJob(cells=scalar, n_workers=1)
+        ).result()
+        faults.install(faults.parse_spec("task.crash_after_charge:at=2"))
+        daemon = daemon_factory("submeter", n_workers=2)
+        client = DaemonClient(socket=daemon.address, tenant="free")
+        result = client.submit(
+            CampaignJob(cells=cells, n_workers=2)
+        ).result(timeout=600)
+        faults.install(None)
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+        meter = daemon.tenant_meter("free")
+        assert meter.n_queries() == sum(
+            r.n_queries for r in reference.reports
+        )
+        assert list(meter.path.parent.glob(f"{meter.path.name}.r-*")) == []
+
+
+# ---------------------------------------------------------------------------
 # Tenant charge reservations: crash-safe metering
 # ---------------------------------------------------------------------------
 
