@@ -1,0 +1,224 @@
+"""Gateway benchmarks: the front door must be thin, and two daemons
+behind it must beat one.
+
+The dispatch benchmark times a quick campaign through the full gateway
+path (client socket, gateway routing, backend fleet, relayed events)
+as the BENCH trajectory for proxy cost, and the overhead guard bounds
+that cost against the same dispatch on a direct :class:`DaemonClient`
+— the gateway adds connection hops, never work.  The scale-out guard
+holds the reason the gateway exists: the same job batch through a
+gateway over *two* daemons sharing one root finishes >= 1.5x faster
+than through one daemon with half the workers, byte-identically,
+wherever enough cores exist to demonstrate it.
+"""
+
+import os
+import tempfile
+import time
+import uuid
+
+import pytest
+
+from repro.campaigns import CampaignCell, ThreatScenario
+from repro.engine import usable_cpus
+from repro.service import (
+    CampaignJob,
+    DaemonClient,
+    FoundryDaemon,
+    FoundryGateway,
+    rendezvous_backend,
+)
+
+pytestmark = pytest.mark.bench
+
+
+def oracle_cells(n: int, budget: int, seed0: int = 0) -> tuple:
+    base = ThreatScenario(budget=budget, n_fft=1024, seed=5)
+    return tuple(
+        CampaignCell("brute-force", base.with_(seed=seed0 + s))
+        for s in range(n)
+    )
+
+
+def _short_socket() -> str:
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-g{uuid.uuid4().hex[:10]}.sock"
+    )
+
+
+def test_bench_gateway_dispatch(run_once, tmp_path):
+    """Wall time of one quick campaign through the whole gateway path
+    (connect, route, backend fleet, relayed events, result) — the
+    BENCH trajectory for what the extra hop costs end-to-end."""
+    from repro import faults
+
+    assert not faults.ENABLED, (
+        "fault injection is armed (REPRO_FAULTS leaked into the bench "
+        "environment?); dispatch timings would measure the chaos plan"
+    )
+    root = tmp_path / "shared"
+    daemon = FoundryDaemon(root, socket=_short_socket(), n_workers=2,
+                           name="a")
+    daemon.start()
+    gateway = FoundryGateway(root, backends=[daemon.address],
+                             socket=_short_socket(), health_interval=1.0)
+    gateway.start()
+    try:
+        client = DaemonClient(socket=gateway.address)
+        # Warm the fleet (worker init, first-task imports).
+        client.submit(
+            CampaignJob(cells=oracle_cells(2, budget=4, seed0=90),
+                        n_workers=2)
+        ).result(timeout=600)
+        cells = oracle_cells(4, budget=8)
+
+        def dispatch():
+            handle = client.submit(CampaignJob(cells=cells, n_workers=2))
+            return handle.result(timeout=600)
+
+        result = run_once(dispatch)
+        assert len(result.reports) == 4
+    finally:
+        gateway.stop()
+        daemon.stop()
+
+
+def test_gateway_proxy_overhead_bounded(benchmark, tmp_path):
+    """The thinness guard: the same campaign dispatched through the
+    gateway costs at most 2x the direct-daemon dispatch (in practice
+    the routing hop is milliseconds against a campaign's seconds)."""
+    root = tmp_path / "shared"
+    daemon = FoundryDaemon(root, socket=_short_socket(), n_workers=2,
+                           name="a")
+    daemon.start()
+    gateway = FoundryGateway(root, backends=[daemon.address],
+                             socket=_short_socket(), health_interval=1.0)
+    gateway.start()
+    try:
+        direct = DaemonClient(socket=daemon.address)
+        proxied = DaemonClient(socket=gateway.address)
+        # Warm the fleet and both connection paths.
+        direct.submit(
+            CampaignJob(cells=oracle_cells(2, budget=4, seed0=90),
+                        n_workers=2)
+        ).result(timeout=600)
+        proxied.ping()
+
+        def run(client, seed0):
+            handle = client.submit(
+                CampaignJob(cells=oracle_cells(2, budget=8, seed0=seed0),
+                            n_workers=2)
+            )
+            return handle.result(timeout=600)
+
+        start = time.perf_counter()
+        for k in range(3):
+            run(direct, 10 * k)
+        direct_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for k in range(3):
+            run(proxied, 100 + 10 * k)
+        proxied_seconds = time.perf_counter() - start
+    finally:
+        gateway.stop()
+        daemon.stop()
+
+    overhead = proxied_seconds / direct_seconds
+    benchmark.extra_info["direct_seconds"] = round(direct_seconds, 3)
+    benchmark.extra_info["proxied_seconds"] = round(proxied_seconds, 3)
+    benchmark.extra_info["overhead_ratio"] = round(overhead, 3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert overhead <= 2.0, (
+        f"gateway dispatch {overhead:.2f}x the direct-daemon dispatch "
+        f"(> 2.0x): the proxy is no longer thin"
+    )
+
+
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="needs >= 4 usable CPUs to demonstrate 2-daemon scale-out",
+)
+def test_gateway_two_daemon_scaleout(benchmark, tmp_path):
+    """The scale-out guard: 4 concurrent 1-worker jobs through a
+    gateway over two 2-worker daemons sharing one root finish >= 1.5x
+    faster than through one 2-worker daemon — byte-identically."""
+    budget = 48
+    jobs = [
+        CampaignJob(cells=oracle_cells(2, budget=budget, seed0=10 * k),
+                    n_workers=1)
+        for k in range(4)
+    ]
+
+    single = FoundryDaemon(tmp_path / "single", socket=_short_socket(),
+                           n_workers=2, max_active=4)
+    single.start()
+    try:
+        client = DaemonClient(socket=single.address)
+        client.submit(
+            CampaignJob(cells=oracle_cells(2, budget=4, seed0=80),
+                        n_workers=2)
+        ).result(timeout=600)  # warm the fleet before timing
+        start = time.perf_counter()
+        handles = [client.submit(job) for job in jobs]
+        single_results = [h.result(timeout=600) for h in handles]
+        single_seconds = time.perf_counter() - start
+    finally:
+        single.stop()
+
+    root = tmp_path / "shared"
+    daemons = [
+        FoundryDaemon(root, socket=_short_socket(), n_workers=2,
+                      max_active=4, name=tag)
+        for tag in ("a", "b")
+    ]
+    for daemon in daemons:
+        daemon.start()
+    addrs = [d.address for d in daemons]
+    gateway = FoundryGateway(root, backends=addrs, socket=_short_socket(),
+                             health_interval=1.0)
+    gateway.start()
+    try:
+        client = DaemonClient(socket=gateway.address)
+        client.submit(
+            CampaignJob(cells=oracle_cells(4, budget=4, seed0=70),
+                        n_workers=2)
+        ).result(timeout=600)  # warm (at least one) fleet
+
+        # Job ids that split 2/2 across the backends, so the batch
+        # genuinely uses both fleets regardless of hash luck.
+        ids, per_backend = [], {addr: 0 for addr in addrs}
+        i = 0
+        while len(ids) < len(jobs):
+            jid = f"scale-{i}"
+            addr = rendezvous_backend(jid, addrs)
+            if per_backend[addr] < len(jobs) // 2:
+                per_backend[addr] += 1
+                ids.append(jid)
+            i += 1
+        start = time.perf_counter()
+        handles = [
+            client.submit(job, job_id=jid) for job, jid in zip(jobs, ids)
+        ]
+        scaled_results = [h.result(timeout=600) for h in handles]
+        scaled_seconds = time.perf_counter() - start
+    finally:
+        gateway.stop()
+        for daemon in daemons:
+            daemon.stop()
+
+    import pickle
+
+    for one, two in zip(single_results, scaled_results):
+        assert [pickle.dumps(r) for r in one.reports] == [
+            pickle.dumps(r) for r in two.reports
+        ]  # scale-out changes where, never what
+
+    speedup = single_seconds / scaled_seconds
+    benchmark.extra_info["single_daemon_seconds"] = round(single_seconds, 3)
+    benchmark.extra_info["two_daemon_seconds"] = round(scaled_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedup >= 1.5, (
+        f"two daemons behind the gateway only {speedup:.1f}x faster than "
+        f"one (< 1.5x)"
+    )

@@ -65,17 +65,34 @@ from repro.service.jobs import (
 from repro.service.journal import JobJournal, cells_fingerprint
 from repro.service.service import FoundryService, JobHandle
 from repro.service.protocol import SERVICE_SOCKET_ENV, SERVICE_TENANT_ENV
-from repro.service.tenants import TenantConfig, TenantMeter, parse_tenant_spec
+from repro.service.tenants import (
+    RateLimited,
+    TenantConfig,
+    TenantMeter,
+    TokenBucket,
+    parse_tenant_spec,
+)
 from repro.service.client import DaemonClient, RemoteJobHandle
 from repro.service.daemon import DaemonUnavailable, FoundryDaemon, WorkerFleet
+from repro.service.gateway import (
+    BackendDown,
+    FoundryGateway,
+    GATEWAY_BACKENDS_ENV,
+    rendezvous_backend,
+)
+from repro.service.http import FoundryHTTPFrontend, job_from_json
 
 __all__ = [
+    "BackendDown",
     "CampaignJob",
     "DaemonClient",
     "DaemonUnavailable",
     "ExperimentJob",
     "FoundryDaemon",
+    "FoundryGateway",
+    "FoundryHTTPFrontend",
     "FoundryService",
+    "GATEWAY_BACKENDS_ENV",
     "JobCancelled",
     "JobFailed",
     "JobHandle",
@@ -83,6 +100,7 @@ __all__ = [
     "JobStatus",
     "JournalMismatch",
     "ProvisioningJob",
+    "RateLimited",
     "RemoteJobHandle",
     "SCHEDULERS",
     "SERVICE_SOCKET_ENV",
@@ -94,10 +112,13 @@ __all__ = [
     "TaskRetriesExhausted",
     "TenantConfig",
     "TenantMeter",
+    "TokenBucket",
     "WorkerFleet",
     "cells_fingerprint",
     "default_worker_count",
+    "job_from_json",
     "parse_tenant_spec",
+    "rendezvous_backend",
     "task_retry_budget",
     "task_timeout_seconds",
     "validate_worker_count",

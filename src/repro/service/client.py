@@ -83,6 +83,18 @@ def _raise_for(reply: dict):
         raise KeyError(error)
     if kind == "DaemonUnavailable":
         raise DaemonUnavailableError(error)
+    if kind == "BackendDown":
+        from repro.service.gateway import BackendDown
+
+        raise BackendDown(error)
+    if kind in ("RateLimited", "QueryBudgetExceeded"):
+        # Typed refusals keep their in-process types over the wire, so
+        # attack loops that already catch QueryBudgetExceeded treat a
+        # rate refusal exactly like quota exhaustion.
+        from repro.service.tenants import QueryBudgetExceeded, RateLimited
+
+        raise (RateLimited if kind == "RateLimited" else
+               QueryBudgetExceeded)(error)
     if kind in ("ValueError", "TypeError", "JournalMismatch"):
         # Up-front validation keeps its in-process exception type, so
         # submit() misuse reads the same locally and over the wire.

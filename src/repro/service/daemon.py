@@ -124,7 +124,7 @@ from repro.service.service import (
     plan_campaign_tasks,
     plan_cell_partitions,
 )
-from repro.service.tenants import TenantConfig, TenantMeter
+from repro.service.tenants import TenantConfig, TenantMeter, TokenBucket
 
 #: Job statuses that will never change again.
 TERMINAL_STATUSES = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
@@ -165,6 +165,7 @@ class TaskContext:
     tenant: str = "default"
     meter_path: str | None = None
     max_queries: int | None = None
+    max_queries_per_minute: float | None = None
 
 
 @dataclass(frozen=True)
@@ -226,6 +227,7 @@ def _fleet_worker_main(conn, heartbeat) -> None:
                     context.meter_path,
                     context.max_queries,
                     tenant=context.tenant,
+                    max_per_minute=context.max_queries_per_minute,
                 )
             else:
                 meter = None
@@ -377,6 +379,7 @@ class WorkerFleet:
             item.context.meter_path,
             item.context.max_queries,
             tenant=item.context.tenant,
+            max_per_minute=item.context.max_queries_per_minute,
         )
 
     def _settle(self, slot, message) -> None:
@@ -651,6 +654,7 @@ class _FleetService(FoundryService):
             tenant=self._tenant.name,
             meter_path=str(self._daemon.meter_path(self._tenant.name)),
             max_queries=self._tenant.max_queries,
+            max_queries_per_minute=self._tenant.max_queries_per_minute,
         )
 
     def _campaign_runner(self, job, todo, n_workers, scheduler, journal):
@@ -762,6 +766,12 @@ class FoundryDaemon:
         max_active: Concurrently *running* jobs; queued jobs beyond it
             wait in PENDING, admitted highest tenant priority first.
             Defaults to ``max(2, n_workers)``.
+        name: This daemon's identity on a *shared* root.  Several
+            daemons may serve one root (the gateway's scale-out
+            topology); each persisted job records its owner, and
+            restart recovery re-admits only this daemon's own jobs —
+            otherwise every daemon on the root would re-run every job.
+            Single-daemon roots can ignore it (default ``"daemon"``).
 
     Use ``start()``/``stop()`` to embed (tests do), or :meth:`run` as
     the blocking CLI entry point with SIGTERM/SIGINT drain semantics.
@@ -775,8 +785,13 @@ class FoundryDaemon:
         tenants=(),
         scheduler: str = "stealing",
         max_active: int | None = None,
+        name: str | None = None,
     ):
         self.root = Path(root)
+        self.name = name or "daemon"
+        #: Injectable clock for the submission-rate bucket (tests pin
+        #: it; worker-side measurement buckets always use real time).
+        self.clock = time.monotonic
         self.root.mkdir(parents=True, exist_ok=True)
         self.address = socket or default_address() or str(self.root / "daemon.sock")
         if scheduler not in SCHEDULERS:
@@ -823,11 +838,26 @@ class FoundryDaemon:
         """The (parent-side view of the) tenant's query meter."""
         config = self.tenant(tenant)
         return TenantMeter(
-            self.meter_path(tenant), config.max_queries, tenant=tenant
+            self.meter_path(tenant), config.max_queries, tenant=tenant,
+            max_per_minute=config.max_queries_per_minute,
         )
 
     def tenant(self, name: str) -> TenantConfig:
         return self.tenants.get(name) or TenantConfig(name=name)
+
+    def submit_bucket(self, tenant: TenantConfig) -> TokenBucket | None:
+        """The tenant's submission-rate bucket, or None when unlimited.
+        Keyed by file path under the (possibly shared) root, so every
+        daemon and gateway on the root debits one tenant-wide limit."""
+        if tenant.max_submits_per_minute is None:
+            return None
+        return TokenBucket(
+            self.root / "tenants" / f"{tenant.name}.submits",
+            tenant.max_submits_per_minute,
+            tenant=tenant.name,
+            kind="submission",
+            clock=self.clock,
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -932,7 +962,8 @@ class FoundryDaemon:
 
     # -- submission and admission ----------------------------------------
 
-    def submit_job(self, tenant_name: str, job, job_id: str | None = None):
+    def submit_job(self, tenant_name: str, job, job_id: str | None = None,
+                   rate_exempt: bool = False):
         """Admit ``job`` for ``tenant_name``: returns ``(DaemonJob,
         attached)`` where ``attached`` is True when an identical live
         submission already existed (idempotent resubmission).
@@ -940,6 +971,13 @@ class FoundryDaemon:
         A resubmission of a CANCELLED or FAILED job — or of a job only
         known from a previous daemon life — is re-admitted and resumes
         from its journal.
+
+        A genuinely *new* admission debits the tenant's submission-rate
+        bucket (typed :class:`~repro.service.tenants.RateLimited`
+        refusal, nothing persisted or queued); attaching is free, and
+        ``rate_exempt`` skips the debit for submissions that are not
+        client demand — restart recovery, and gateway forwarding of a
+        submission the gateway already debited.
         """
         tenant = self.tenant(tenant_name or "default")
         with self._lock:
@@ -953,6 +991,10 @@ class FoundryDaemon:
                 existing.status not in (JobStatus.CANCELLED, JobStatus.FAILED)
             ):
                 return existing, True
+            if not rate_exempt:
+                bucket = self.submit_bucket(tenant)
+                if bucket is not None:
+                    bucket.take(1.0)
             prepared = self._prepare(jid, job)
             handle = _FleetService(self, tenant).submit(prepared)
             djob = DaemonJob(jid, tenant, prepared, handle)
@@ -993,7 +1035,7 @@ class FoundryDaemon:
             ("job.pkl", pickle.dumps(job)),
             ("meta.json", json.dumps(
                 {"job_id": job_id, "tenant": tenant,
-                 "job_type": type(job).__name__}
+                 "job_type": type(job).__name__, "owner": self.name}
             ).encode()),
         ):
             tmp = job_dir / (name + ".tmp")
@@ -1029,6 +1071,12 @@ class FoundryDaemon:
                 continue
             try:
                 meta = json.loads(meta_path.read_text())
+                if meta.get("owner", self.name) != self.name:
+                    # Another daemon on this shared root owns this job
+                    # (gateway scale-out); recovering it here would run
+                    # it twice.  A record persisted before owners
+                    # existed has no field and counts as ours.
+                    continue
                 terminal_path = job_dir / "terminal.json"
                 if terminal_path.is_file():
                     terminal = json.loads(terminal_path.read_text())
@@ -1043,7 +1091,10 @@ class FoundryDaemon:
                     continue
                 with open(job_path, "rb") as fh:
                     job = pickle.load(fh)
-                self.submit_job(meta["tenant"], job, job_id=meta["job_id"])
+                # rate_exempt: recovery is not client demand — a
+                # restart must never be refused by the submit bucket.
+                self.submit_job(meta["tenant"], job, job_id=meta["job_id"],
+                                rate_exempt=True)
             except (OSError, ValueError, KeyError, pickle.PickleError) as exc:
                 # A torn record (the kill landed mid-persist) is not
                 # recoverable state — skip it rather than refuse to start.
@@ -1178,7 +1229,8 @@ class FoundryDaemon:
     def _op_submit(self, conn, frame) -> None:
         job = decode_payload(frame["job"])
         djob, attached = self.submit_job(
-            frame.get("tenant") or "default", job, frame.get("job_id")
+            frame.get("tenant") or "default", job, frame.get("job_id"),
+            rate_exempt=bool(frame.get("rate_exempt")),
         )
         send_frame(conn, {
             "ok": True, "job_id": djob.job_id, "attached": attached,
@@ -1214,6 +1266,7 @@ class FoundryDaemon:
         send_frame(conn, {
             "ok": True,
             "pid": os.getpid(),
+            "name": self.name,
             "workers": self.fleet.n_workers,
             "n_jobs": n_jobs,
             "active": active,
@@ -1223,6 +1276,8 @@ class FoundryDaemon:
                     "priority": config.priority,
                     "max_queries": config.max_queries,
                     "n_queries": self.tenant_meter(name).n_queries(),
+                    "max_submits_per_minute": config.max_submits_per_minute,
+                    "max_queries_per_minute": config.max_queries_per_minute,
                 }
                 for name, config in self.tenants.items()
             },

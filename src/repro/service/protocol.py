@@ -73,14 +73,27 @@ def send_frame(sock: socket.socket, obj: dict) -> None:
     sock.sendall(packet)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
-    """Read exactly ``n`` bytes; None on EOF at a frame boundary."""
+def _recv_exact(
+    sock: socket.socket, n: int, eof_ok: bool = False
+) -> bytes | None:
+    """Read exactly ``n`` bytes; None on EOF at a frame boundary.
+
+    With ``eof_ok`` (the length-prefix read), a peer that closes
+    *mid-prefix* also reads as a clean EOF: a dying peer tears its
+    connection at whatever byte its kernel buffer happened to flush,
+    and the first 1-3 bytes of a length prefix carry no information
+    worth reporting — both the daemon loop and the client treat it
+    exactly like a close between frames.  A close mid-*payload* stays a
+    :class:`ProtocolError`: the peer promised ``length`` bytes and
+    broke the promise, which the caller may want to distinguish (the
+    client's stream resume does).
+    """
     chunks = []
     got = 0
     while got < n:
         chunk = sock.recv(min(n - got, 1 << 20))
         if not chunk:
-            if got == 0:
+            if got == 0 or eof_ok:
                 return None
             raise ProtocolError(
                 f"connection closed mid-frame ({got} of {n} bytes)"
@@ -91,8 +104,9 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def recv_frame(sock: socket.socket) -> dict | None:
-    """Receive one frame; None when the peer closed cleanly."""
-    header = _recv_exact(sock, _HEADER.size)
+    """Receive one frame; None when the peer closed cleanly — between
+    frames or mid-length-prefix (see :func:`_recv_exact`)."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)

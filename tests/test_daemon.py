@@ -642,6 +642,94 @@ class TestStartupSweep:
 
 
 # ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+
+def free_tcp_port() -> int:
+    """A currently-free localhost TCP port (bind-0 probe)."""
+    sock = socket_module.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestDaemonTCP:
+    """The daemon over localhost TCP: the same protocol and the same
+    guards as the Unix-socket path — malformed frames cost at most one
+    connection, torn streams reconnect and resume."""
+
+    @pytest.fixture
+    def tcp_daemon(self, tmp_path):
+        daemon = FoundryDaemon(
+            tmp_path / "tcp", socket=f"127.0.0.1:{free_tcp_port()}",
+            n_workers=1,
+        )
+        daemon.start()
+        yield daemon
+        daemon.stop()
+
+    def test_campaign_over_tcp_matches_inprocess(self, tcp_daemon):
+        cells = oracle_cells(2)
+        reference = FoundryService().submit(
+            CampaignJob(cells=cells, n_workers=1)
+        ).result()
+        client = DaemonClient(socket=tcp_daemon.address)
+        result = client.submit(
+            CampaignJob(cells=cells, n_workers=1)
+        ).result(timeout=600)
+        assert result.reports == reference.reports
+        assert report_bytes(result.reports) == report_bytes(
+            reference.reports
+        )
+
+    def test_malformed_frames_cost_one_connection(self, tcp_daemon):
+        from repro.service.protocol import connect
+
+        probes = (
+            b"\xff\xff\xff\xff",            # oversized length prefix
+            b"\x00\x00\x00\x64{\"op\":",    # 100 promised, 7 sent
+            b"\x00\x00\x00\x07[1,2,3]",     # valid JSON, not a frame
+        )
+        for payload in probes:
+            sock = connect(tcp_daemon.address, timeout=10)
+            try:
+                sock.settimeout(10)
+                sock.sendall(payload)
+                sock.shutdown(socket_module.SHUT_WR)
+                try:
+                    closed = sock.recv(1 << 16) == b""
+                except OSError:
+                    closed = True
+                assert closed
+            finally:
+                sock.close()
+            # The daemon survives every probe and keeps serving.
+            assert DaemonClient(socket=tcp_daemon.address).ping()["ok"] is True
+
+    def test_stream_reconnects_through_torn_frames_over_tcp(self, tcp_daemon):
+        from repro import faults
+
+        client = DaemonClient(socket=tcp_daemon.address)
+        handle = client.submit(
+            CampaignJob(cells=oracle_cells(3), n_workers=1)
+        )
+        handle.result(timeout=600)
+        baseline = list(handle.stream())
+        assert len(baseline) == 3
+        standing = faults.active()  # restore any suite-wide chaos plan
+        faults.install(
+            faults.parse_spec("frame.truncate:every=5;frame.drop:at=2")
+        )
+        try:
+            streamed = list(client.handle(handle.job_id).stream())
+        finally:
+            faults.install(standing)
+        assert streamed == baseline
+
+
+# ---------------------------------------------------------------------------
 # Drain / restart
 # ---------------------------------------------------------------------------
 
